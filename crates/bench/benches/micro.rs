@@ -1,0 +1,184 @@
+//! Criterion microbenchmarks: the per-component costs that determine the
+//! simulator's cycles-per-second throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use dbp_cache::{Hierarchy, HierarchyConfig};
+use dbp_dram::{Command, Dram, DramConfig};
+use dbp_memctrl::scheduler::{FrFcfs, Tcm};
+use dbp_memctrl::{CtrlConfig, MemRequest, MemoryController};
+use dbp_osmem::{ColorSet, FrameAllocator};
+use dbp_sim::{SimConfig, System};
+use dbp_workloads::{profiles, SyntheticTrace};
+
+fn bench_dram_commands(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram");
+    g.throughput(Throughput::Elements(3)); // ACT + RD + PRE
+    g.bench_function("act_rd_pre_cycle", |b| {
+        let cfg = DramConfig::fast_test();
+        b.iter_batched(
+            || Dram::new(cfg.clone()),
+            |mut d| {
+                let mut now = 0;
+                let act = Command::activate(0, 0, 0, 1);
+                now = d.earliest_issue(&act, now).unwrap();
+                d.issue(&act, now);
+                let rd = Command::read(0, 0, 0, 1, 0, false);
+                now = d.earliest_issue(&rd, now).unwrap();
+                d.issue(&rd, now);
+                let pre = Command::precharge(0, 0, 0);
+                now = d.earliest_issue(&pre, now).unwrap();
+                d.issue(&pre, now);
+                d
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn filled_controller(sched: Box<dyn dbp_memctrl::Scheduler>) -> MemoryController {
+    let mut mc = MemoryController::new(
+        Dram::new(DramConfig::fast_test()),
+        CtrlConfig::default(),
+        sched,
+        4,
+    );
+    for i in 0..32u64 {
+        mc.enqueue(MemRequest::demand_read(i, (i % 4) as usize, i * 4096, 0));
+    }
+    mc
+}
+
+fn bench_controller_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("controller_tick");
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("frfcfs_32deep", |b| {
+        b.iter_batched(
+            || filled_controller(Box::new(FrFcfs)),
+            |mut mc| {
+                let mut done = Vec::new();
+                for now in 0..64 {
+                    mc.tick(now, &mut done);
+                }
+                mc
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("tcm_32deep", |b| {
+        b.iter_batched(
+            || filled_controller(Box::new(Tcm::new(Default::default(), 4))),
+            |mut mc| {
+                let mut done = Vec::new();
+                for now in 0..64 {
+                    mc.tick(now, &mut done);
+                }
+                mc
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frame_allocator");
+    let cfg = DramConfig { rows_per_bank: 256, ..DramConfig::default() };
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("alloc_free_1k", |b| {
+        b.iter_batched(
+            || FrameAllocator::new(&cfg),
+            |mut a| {
+                let allowed = ColorSet::range(0, 8);
+                let mut frames = Vec::with_capacity(1024);
+                for _ in 0..1024 {
+                    frames.push(a.alloc(&allowed).unwrap());
+                }
+                for f in frames {
+                    a.free(f);
+                }
+                a
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("hierarchy_stream_4k", |b| {
+        b.iter_batched(
+            || Hierarchy::new(HierarchyConfig::default()),
+            |mut h| {
+                for i in 0..4096u64 {
+                    h.access(i * 64, i % 5 == 0);
+                }
+                h
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    use dbp_cpu::TraceSource;
+    let mut g = c.benchmark_group("workloads");
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("synthetic_mcf_4k_ops", |b| {
+        let mut t = SyntheticTrace::new(profiles::by_name("mcf"), 1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..4096 {
+                acc ^= t.next_op().addr;
+            }
+            acc
+        });
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("system");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(100_000)); // CPU cycles stepped
+    g.bench_function("step_100k_cycles_4core", |b| {
+        b.iter_batched(
+            || {
+                let mut cfg = SimConfig::fast_test();
+                cfg.warmup_instructions = 0;
+                let traces: Vec<Box<dyn dbp_cpu::TraceSource>> = ["mcf", "lbm", "libquantum", "milc"]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, n)| {
+                        Box::new(SyntheticTrace::new(profiles::by_name(n), i as u64))
+                            as Box<dyn dbp_cpu::TraceSource>
+                    })
+                    .collect();
+                System::new(cfg, traces)
+            },
+            |mut sys| {
+                for _ in 0..100_000 {
+                    sys.step();
+                }
+                sys
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dram_commands,
+    bench_controller_tick,
+    bench_allocator,
+    bench_cache,
+    bench_trace_generation,
+    bench_end_to_end
+);
+criterion_main!(benches);

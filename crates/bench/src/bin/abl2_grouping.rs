@@ -1,0 +1,10 @@
+//! Ablation 2: grouping non-intensive threads on a shared slice
+//!
+//! Run: `cargo run --release -p dbp-bench --bin abl2_grouping`
+//! (set `DBP_QUICK=1` for a fast, noisier version).
+
+fn main() {
+    let cfg = dbp_bench::harness::base_config();
+    println!("== Ablation 2: grouping non-intensive threads on a shared slice ==\n");
+    println!("{}", dbp_bench::experiments::abl2_grouping(&cfg));
+}

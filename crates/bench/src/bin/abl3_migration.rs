@@ -1,0 +1,10 @@
+//! Ablation 3: page-migration cost model
+//!
+//! Run: `cargo run --release -p dbp-bench --bin abl3_migration`
+//! (set `DBP_QUICK=1` for a fast, noisier version).
+
+fn main() {
+    let cfg = dbp_bench::harness::base_config();
+    println!("== Ablation 3: page-migration cost model ==\n");
+    println!("{}", dbp_bench::experiments::abl3_migration(&cfg));
+}

@@ -1,0 +1,9 @@
+//! Extension: DRAM energy by policy (activate savings from partitioning)
+//!
+//! Run: `cargo run --release -p dbp-bench --bin ext1_energy`
+
+fn main() {
+    let cfg = dbp_bench::harness::base_config();
+    println!("== Extension: DRAM energy by policy (activate savings from partitioning) ==\n");
+    println!("{}", dbp_bench::experiments::ext1_energy(&cfg));
+}

@@ -1,0 +1,10 @@
+//! Figure 10: sensitivity to channel count
+//!
+//! Run: `cargo run --release -p dbp-bench --bin fig10_channels_sweep`
+//! (set `DBP_QUICK=1` for a fast, noisier version).
+
+fn main() {
+    let cfg = dbp_bench::harness::base_config();
+    println!("== Figure 10: sensitivity to channel count ==\n");
+    println!("{}", dbp_bench::experiments::fig10_channels_sweep(&cfg));
+}

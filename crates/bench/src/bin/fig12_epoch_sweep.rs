@@ -1,0 +1,10 @@
+//! Figure 12: sensitivity to the repartitioning epoch
+//!
+//! Run: `cargo run --release -p dbp-bench --bin fig12_epoch_sweep`
+//! (set `DBP_QUICK=1` for a fast, noisier version).
+
+fn main() {
+    let cfg = dbp_bench::harness::base_config();
+    println!("== Figure 12: sensitivity to the repartitioning epoch ==\n");
+    println!("{}", dbp_bench::experiments::fig12_epoch_sweep(&cfg));
+}

@@ -1,0 +1,10 @@
+//! Figure 1 (motivation): DRAM interference between co-running applications
+//!
+//! Run: `cargo run --release -p dbp-bench --bin fig1_motivation`
+//! (set `DBP_QUICK=1` for a fast, noisier version).
+
+fn main() {
+    let cfg = dbp_bench::harness::base_config();
+    println!("== Figure 1 (motivation): DRAM interference between co-running applications ==\n");
+    println!("{}", dbp_bench::experiments::fig1_motivation(&cfg));
+}

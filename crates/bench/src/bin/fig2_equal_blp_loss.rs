@@ -1,0 +1,10 @@
+//! Figure 2: restricting banks destroys high-BLP benchmarks (the cost of equal partitioning)
+//!
+//! Run: `cargo run --release -p dbp-bench --bin fig2_equal_blp_loss`
+//! (set `DBP_QUICK=1` for a fast, noisier version).
+
+fn main() {
+    let cfg = dbp_bench::harness::base_config();
+    println!("== Figure 2: restricting banks destroys high-BLP benchmarks (the cost of equal partitioning) ==\n");
+    println!("{}", dbp_bench::experiments::fig2_equal_blp_loss(&cfg));
+}

@@ -1,0 +1,10 @@
+//! Figure 3: bank-demand estimation accuracy vs empirical optimum
+//!
+//! Run: `cargo run --release -p dbp-bench --bin fig3_demand_estimation`
+//! (set `DBP_QUICK=1` for a fast, noisier version).
+
+fn main() {
+    let cfg = dbp_bench::harness::base_config();
+    println!("== Figure 3: bank-demand estimation accuracy vs empirical optimum ==\n");
+    println!("{}", dbp_bench::experiments::fig3_demand_estimation(&cfg));
+}

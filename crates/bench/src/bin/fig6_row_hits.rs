@@ -1,0 +1,10 @@
+//! Figure 6: system row-buffer hit rate per policy
+//!
+//! Run: `cargo run --release -p dbp-bench --bin fig6_row_hits`
+//! (set `DBP_QUICK=1` for a fast, noisier version).
+
+fn main() {
+    let cfg = dbp_bench::harness::base_config();
+    println!("== Figure 6: system row-buffer hit rate per policy ==\n");
+    println!("{}", dbp_bench::experiments::fig6_row_hits(&cfg));
+}

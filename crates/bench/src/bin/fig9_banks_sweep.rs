@@ -1,0 +1,10 @@
+//! Figure 9: sensitivity to total bank count
+//!
+//! Run: `cargo run --release -p dbp-bench --bin fig9_banks_sweep`
+//! (set `DBP_QUICK=1` for a fast, noisier version).
+
+fn main() {
+    let cfg = dbp_bench::harness::base_config();
+    println!("== Figure 9: sensitivity to total bank count ==\n");
+    println!("{}", dbp_bench::experiments::fig9_banks_sweep(&cfg));
+}

@@ -1,0 +1,10 @@
+//! Table 1: simulated system configuration
+//!
+//! Run: `cargo run --release -p dbp-bench --bin table1_config`
+//! (set `DBP_QUICK=1` for a fast, noisier version).
+
+fn main() {
+    let cfg = dbp_bench::harness::base_config();
+    println!("== Table 1: simulated system configuration ==\n");
+    println!("{}", dbp_bench::experiments::table1_config(&cfg));
+}

@@ -1,0 +1,10 @@
+//! Table 2: benchmark characteristics (targets marked *, measured unmarked)
+//!
+//! Run: `cargo run --release -p dbp-bench --bin table2_benchmarks`
+//! (set `DBP_QUICK=1` for a fast, noisier version).
+
+fn main() {
+    let cfg = dbp_bench::harness::base_config();
+    println!("== Table 2: benchmark characteristics (targets marked *, measured unmarked) ==\n");
+    println!("{}", dbp_bench::experiments::table2_benchmarks(&cfg));
+}

@@ -1,0 +1,11 @@
+//! Table 3: multiprogrammed workload mixes
+//!
+//! Run: `cargo run --release -p dbp-bench --bin table3_mixes`
+//! (set `DBP_QUICK=1` for a fast, noisier version).
+
+fn main() {
+    let cfg = dbp_bench::harness::base_config();
+    println!("== Table 3: multiprogrammed workload mixes ==\n");
+    let _ = cfg;
+    println!("{}", dbp_bench::experiments::table3_mixes());
+}

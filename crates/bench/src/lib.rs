@@ -1,0 +1,18 @@
+//! Benchmark harness for the DBP reproduction.
+//!
+//! Every table and figure of the (reconstructed) evaluation has a binary
+//! in `src/bin/` that regenerates it; the experiment logic lives here so
+//! the integration tests can smoke-run scaled-down versions of each.
+//!
+//! Set `DBP_QUICK=1` to run every experiment at a reduced instruction
+//! target (useful for CI and smoke tests); the shapes survive, the noise
+//! grows.
+//!
+//! ```no_run
+//! // Regenerate Figure 4 (weighted speedup, DBP vs equal vs shared):
+//! let table = dbp_bench::experiments::fig4_ws_dbp(&dbp_bench::harness::base_config());
+//! println!("{table}");
+//! ```
+
+pub mod experiments;
+pub mod harness;

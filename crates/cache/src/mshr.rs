@@ -1,0 +1,136 @@
+//! Miss-status holding registers: track outstanding misses and merge
+//! secondary misses to the same line.
+
+use std::collections::HashMap;
+
+/// Result of trying to allocate an MSHR for a missing line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrAlloc {
+    /// First miss to this line: a memory request must be sent.
+    Primary,
+    /// An earlier miss to the same line is already outstanding; this
+    /// access piggybacks on it.
+    Merged,
+    /// No free entries; the requester must stall and retry.
+    Full,
+}
+
+/// A bounded file of miss-status holding registers.
+///
+/// Keys are line-aligned physical addresses. Each entry counts how many
+/// accesses are waiting on the fill.
+#[derive(Debug, Clone)]
+pub struct Mshr {
+    entries: HashMap<u64, u32>,
+    capacity: usize,
+    peak: usize,
+}
+
+impl Mshr {
+    /// Create a file with room for `capacity` distinct outstanding lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be positive");
+        Mshr { entries: HashMap::with_capacity(capacity), capacity, peak: 0 }
+    }
+
+    /// Try to record a miss on `line_addr`.
+    pub fn alloc(&mut self, line_addr: u64) -> MshrAlloc {
+        if let Some(waiters) = self.entries.get_mut(&line_addr) {
+            *waiters += 1;
+            return MshrAlloc::Merged;
+        }
+        if self.entries.len() >= self.capacity {
+            return MshrAlloc::Full;
+        }
+        self.entries.insert(line_addr, 1);
+        self.peak = self.peak.max(self.entries.len());
+        MshrAlloc::Primary
+    }
+
+    /// Complete the fill of `line_addr`, returning how many accesses were
+    /// waiting (0 if the line was not outstanding).
+    pub fn complete(&mut self, line_addr: u64) -> u32 {
+        self.entries.remove(&line_addr).unwrap_or(0)
+    }
+
+    /// Whether `line_addr` has an outstanding miss.
+    pub fn contains(&self, line_addr: u64) -> bool {
+        self.entries.contains_key(&line_addr)
+    }
+
+    /// Number of outstanding lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no misses are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the file is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// High-water mark of concurrently outstanding lines.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_then_merge() {
+        let mut m = Mshr::new(4);
+        assert_eq!(m.alloc(0x40), MshrAlloc::Primary);
+        assert_eq!(m.alloc(0x40), MshrAlloc::Merged);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.complete(0x40), 2);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn fills_up_and_rejects() {
+        let mut m = Mshr::new(2);
+        assert_eq!(m.alloc(0), MshrAlloc::Primary);
+        assert_eq!(m.alloc(64), MshrAlloc::Primary);
+        assert_eq!(m.alloc(128), MshrAlloc::Full);
+        // Merging into an existing entry still works when full.
+        assert_eq!(m.alloc(64), MshrAlloc::Merged);
+        m.complete(0);
+        assert_eq!(m.alloc(128), MshrAlloc::Primary);
+    }
+
+    #[test]
+    fn complete_unknown_line_returns_zero() {
+        let mut m = Mshr::new(2);
+        assert_eq!(m.complete(0xdead), 0);
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut m = Mshr::new(8);
+        for i in 0..5u64 {
+            m.alloc(i * 64);
+        }
+        for i in 0..5u64 {
+            m.complete(i * 64);
+        }
+        assert_eq!(m.peak(), 5);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Mshr::new(0);
+    }
+}

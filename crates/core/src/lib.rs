@@ -1,0 +1,56 @@
+//! Dynamic Bank Partitioning — the primary contribution of
+//! *"Improving system throughput and fairness simultaneously in shared
+//! memory CMP systems via Dynamic Bank Partitioning"* (Xie, Tong, Huang,
+//! Cheng — HPCA 2014).
+//!
+//! Bank partitioning assigns disjoint DRAM banks to threads through OS
+//! page coloring, eliminating inter-thread row-buffer interference. Prior
+//! *equal* partitioning splits banks evenly, which starves threads with
+//! high bank-level parallelism (BLP). DBP instead:
+//!
+//! 1. **Profiles** each thread every epoch — memory intensity (MPKI),
+//!    row-buffer locality (RBL), achieved BLP ([`ThreadMemProfile`]).
+//! 2. **Estimates** each thread's bank demand from its profile
+//!    ([`BankDemandEstimator`]).
+//! 3. **Partitions** bank *units* (a bank index replicated across every
+//!    channel and rank, so channel/rank parallelism is never sacrificed)
+//!    proportionally to demand, grouping non-intensive threads onto a
+//!    small shared slice ([`policy::Dbp`]).
+//!
+//! The crate also implements the baselines the paper compares against:
+//! [`policy::EqualBankPartitioning`], [`policy::ChannelPartitioning`]
+//! (MCP, Muralidhara et al. MICRO 2011), and [`policy::Unpartitioned`].
+//!
+//! Partition *application* (page allocation and migration) lives in
+//! `dbp-osmem`; scheduling (TCM et al.) lives in `dbp-memctrl`; this crate
+//! is pure policy: profiles in, [`dbp_osmem::ColorSet`]s out.
+//!
+//! # Example
+//!
+//! ```
+//! use dbp_core::{ColorTopology, ThreadMemProfile};
+//! use dbp_core::policy::{Dbp, DbpConfig, PartitionPolicy};
+//!
+//! let topo = ColorTopology::new(2, 2, 8); // 2 ch x 2 ranks x 8 banks
+//! let profiles = vec![
+//!     ThreadMemProfile { mpki: 30.0, rbl: 0.2, blp: 6.0, reads: 90_000, bus_cycles: 360_000 },
+//!     ThreadMemProfile { mpki: 25.0, rbl: 0.9, blp: 1.5, reads: 75_000, bus_cycles: 300_000 },
+//!     ThreadMemProfile { mpki: 0.3, rbl: 0.6, blp: 1.0, reads: 900, bus_cycles: 3_600 },
+//!     ThreadMemProfile { mpki: 0.2, rbl: 0.5, blp: 1.0, reads: 600, bus_cycles: 2_400 },
+//! ];
+//! let mut dbp = Dbp::new(DbpConfig::default());
+//! let plan = dbp.partition(&profiles, &topo, None);
+//! // The high-BLP thread gets more bank colors than the streaming one.
+//! assert!(plan[0].len() > plan[1].len());
+//! // Non-intensive threads share one slice.
+//! assert_eq!(plan[2], plan[3]);
+//! ```
+
+pub mod estimator;
+pub mod policy;
+pub mod profile;
+pub mod topology;
+
+pub use estimator::{BankDemandEstimator, EstimatorConfig};
+pub use profile::ThreadMemProfile;
+pub use topology::ColorTopology;

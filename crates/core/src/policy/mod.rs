@@ -1,0 +1,172 @@
+//! Partitioning policies: profiles in, per-thread color sets out.
+
+mod dbp;
+mod equal;
+mod mcp;
+mod restrict;
+mod unpartitioned;
+
+pub use dbp::{Dbp, DbpConfig};
+pub use equal::EqualBankPartitioning;
+pub use mcp::{ChannelPartitioning, McpConfig};
+pub use restrict::RestrictFirst;
+pub use unpartitioned::Unpartitioned;
+
+use dbp_osmem::ColorSet;
+
+use crate::profile::ThreadMemProfile;
+use crate::topology::ColorTopology;
+
+/// A memory-partitioning policy.
+///
+/// Called once per profiling epoch with every thread's measured profile;
+/// returns the color set each thread may allocate pages from. `prev` is
+/// the plan currently in force, letting stateful policies minimise the
+/// pages that must migrate.
+pub trait PartitionPolicy: std::fmt::Debug {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Compute the next plan. The result has one non-empty [`ColorSet`]
+    /// per thread.
+    fn partition(
+        &mut self,
+        profiles: &[ThreadMemProfile],
+        topo: &ColorTopology,
+        prev: Option<&[ColorSet]>,
+    ) -> Vec<ColorSet>;
+}
+
+/// Declarative policy selection for experiment configs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicyKind {
+    /// All threads may use every color (the shared baseline).
+    Unpartitioned,
+    /// Static equal split of bank units (prior work the paper improves).
+    Equal,
+    /// Dynamic Bank Partitioning (the paper's contribution).
+    Dbp(DbpConfig),
+    /// Memory Channel Partitioning (MCP baseline).
+    Mcp(McpConfig),
+    /// Measurement-only: pin thread 0 to N bank units (Figure 2).
+    RestrictFirst(u32),
+}
+
+impl PolicyKind {
+    /// Instantiate the policy.
+    pub fn build(&self) -> Box<dyn PartitionPolicy> {
+        match *self {
+            PolicyKind::Unpartitioned => Box::new(Unpartitioned),
+            PolicyKind::Equal => Box::new(EqualBankPartitioning),
+            PolicyKind::Dbp(cfg) => Box::new(Dbp::new(cfg)),
+            PolicyKind::Mcp(cfg) => Box::new(ChannelPartitioning::new(cfg)),
+            PolicyKind::RestrictFirst(units) => Box::new(RestrictFirst::new(units)),
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyKind::Unpartitioned => "shared",
+            PolicyKind::Equal => "equal-BP",
+            PolicyKind::Dbp(_) => "DBP",
+            PolicyKind::Mcp(_) => "MCP",
+            PolicyKind::RestrictFirst(_) => "restrict",
+        }
+    }
+}
+
+/// Split `total` units among `demands.len()` takers proportionally, with
+/// every taker receiving at least one unit (largest-remainder style).
+///
+/// # Panics
+///
+/// Panics if there are more takers than units, or no takers.
+pub(crate) fn proportional_alloc(total: u32, demands: &[f64]) -> Vec<u32> {
+    let n = demands.len();
+    assert!(n > 0, "no takers");
+    assert!(n as u32 <= total, "more takers ({n}) than units ({total})");
+    let sum: f64 = demands.iter().sum::<f64>().max(f64::MIN_POSITIVE);
+    let mut alloc: Vec<u32> = demands
+        .iter()
+        .map(|d| (((total as f64) * d / sum).floor() as u32).max(1))
+        .collect();
+    let mut s: u32 = alloc.iter().sum();
+    while s > total {
+        // Reclaim from the taker with the most units (keep the minimum 1).
+        let i = (0..n)
+            .filter(|&i| alloc[i] > 1)
+            .max_by_key(|&i| alloc[i])
+            .expect("sum > total implies someone has more than 1");
+        alloc[i] -= 1;
+        s -= 1;
+    }
+    while s < total {
+        // Grant to the most under-served taker (largest demand per unit).
+        let i = (0..n)
+            .max_by(|&a, &b| {
+                let ra = demands[a] / f64::from(alloc[a]);
+                let rb = demands[b] / f64::from(alloc[b]);
+                ra.partial_cmp(&rb).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("n > 0");
+        alloc[i] += 1;
+        s += 1;
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportional_alloc_sums_to_total() {
+        let a = proportional_alloc(8, &[6.0, 2.0, 1.0, 1.0]);
+        assert_eq!(a.iter().sum::<u32>(), 8);
+        assert!(a.iter().all(|&x| x >= 1));
+        assert!(a[0] > a[1]);
+    }
+
+    #[test]
+    fn proportional_alloc_handles_zero_demands() {
+        let a = proportional_alloc(4, &[0.0, 0.0]);
+        assert_eq!(a.iter().sum::<u32>(), 4);
+        assert!(a.iter().all(|&x| x >= 1));
+    }
+
+    #[test]
+    fn proportional_alloc_exact_split() {
+        assert_eq!(proportional_alloc(4, &[1.0, 1.0]), vec![2, 2]);
+    }
+
+    #[test]
+    fn proportional_alloc_respects_minimum() {
+        let a = proportional_alloc(4, &[1000.0, 0.001, 0.001]);
+        assert_eq!(a.iter().sum::<u32>(), 4);
+        assert_eq!(a[1], 1);
+        assert_eq!(a[2], 1);
+        assert_eq!(a[0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "more takers")]
+    fn too_many_takers_panics() {
+        let _ = proportional_alloc(2, &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn policy_kind_builds_all() {
+        for kind in [
+            PolicyKind::Unpartitioned,
+            PolicyKind::Equal,
+            PolicyKind::Dbp(DbpConfig::default()),
+            PolicyKind::Mcp(McpConfig::default()),
+            PolicyKind::RestrictFirst(2),
+        ] {
+            let p = kind.build();
+            assert!(!p.name().is_empty());
+            assert!(!kind.label().is_empty());
+        }
+    }
+}

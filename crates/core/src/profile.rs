@@ -1,0 +1,59 @@
+//! The policy-facing view of a thread's epoch profile.
+
+/// One thread's measured memory behaviour over an epoch.
+///
+/// This is the exact triple the paper's run-time profiler collects
+/// (plus raw volumes used for proportional splits): memory intensity,
+/// row-buffer locality, and bank-level parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ThreadMemProfile {
+    /// LLC misses (demand reads) per kilo-instruction.
+    pub mpki: f64,
+    /// Fraction of serviced requests that hit an open row, in [0, 1].
+    pub rbl: f64,
+    /// Average banks concurrently holding the thread's reads.
+    pub blp: f64,
+    /// Demand reads this epoch.
+    pub reads: u64,
+    /// Attained data-bus cycles this epoch.
+    pub bus_cycles: u64,
+}
+
+impl ThreadMemProfile {
+    /// Whether the thread counts as memory-intensive under `threshold`
+    /// MPKI (paper-style classification).
+    pub fn is_intensive(&self, threshold: f64) -> bool {
+        self.mpki >= threshold
+    }
+
+    /// A bandwidth-demand proxy used for proportional channel splits:
+    /// attained bus cycles, falling back to read counts when bus usage was
+    /// not measured.
+    pub fn bandwidth_demand(&self) -> f64 {
+        if self.bus_cycles > 0 {
+            self.bus_cycles as f64
+        } else {
+            self.reads as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intensity_threshold() {
+        let p = ThreadMemProfile { mpki: 1.5, ..Default::default() };
+        assert!(p.is_intensive(1.0));
+        assert!(!p.is_intensive(2.0));
+    }
+
+    #[test]
+    fn bandwidth_falls_back_to_reads() {
+        let p = ThreadMemProfile { reads: 10, ..Default::default() };
+        assert_eq!(p.bandwidth_demand(), 10.0);
+        let q = ThreadMemProfile { reads: 10, bus_cycles: 99, ..Default::default() };
+        assert_eq!(q.bandwidth_demand(), 99.0);
+    }
+}

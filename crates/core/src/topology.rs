@@ -1,0 +1,195 @@
+//! The color space partitioning policies operate on.
+
+use dbp_dram::{ColorId, DramConfig};
+use dbp_osmem::ColorSet;
+
+/// Shape of the color space: colors are dense indices over
+/// (channel, rank, bank), matching `dbp_dram::AddressMapper::color_of`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColorTopology {
+    channels: u32,
+    ranks: u32,
+    banks: u32,
+}
+
+impl ColorTopology {
+    /// Build a topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all dimensions are positive powers of two and the
+    /// total fits in a [`ColorSet`].
+    pub fn new(channels: u32, ranks: u32, banks: u32) -> Self {
+        for (name, v) in [("channels", channels), ("ranks", ranks), ("banks", banks)] {
+            assert!(v > 0 && v.is_power_of_two(), "{name} must be a positive power of two");
+        }
+        assert!(
+            channels * ranks * banks <= ColorSet::MAX_COLORS,
+            "too many colors for ColorSet"
+        );
+        ColorTopology { channels, ranks, banks }
+    }
+
+    /// Topology of a DRAM configuration.
+    pub fn from_dram(cfg: &DramConfig) -> Self {
+        Self::new(cfg.channels, cfg.ranks_per_channel, cfg.banks_per_rank)
+    }
+
+    /// Channels.
+    pub fn channels(&self) -> u32 {
+        self.channels
+    }
+
+    /// Ranks per channel.
+    pub fn ranks(&self) -> u32 {
+        self.ranks
+    }
+
+    /// Banks per rank — the number of allocatable **units**. A unit is
+    /// one bank index replicated across every channel and rank, so
+    /// allocating whole units preserves each thread's channel- and
+    /// rank-level parallelism; only the *bank* dimension is partitioned,
+    /// which is precisely the paper's mechanism. (A finer, per-color
+    /// granularity was evaluated and rejected: it destabilises the plan
+    /// and skews threads across channels.)
+    pub fn units(&self) -> u32 {
+        self.banks
+    }
+
+    /// Total colors.
+    pub fn num_colors(&self) -> u32 {
+        self.channels * self.ranks * self.banks
+    }
+
+    /// The color of (channel, rank, bank).
+    pub fn color(&self, channel: u32, rank: u32, bank: u32) -> ColorId {
+        debug_assert!(channel < self.channels && rank < self.ranks && bank < self.banks);
+        (channel * self.ranks + rank) * self.banks + bank
+    }
+
+    /// Every color, as a set.
+    pub fn all_colors(&self) -> ColorSet {
+        ColorSet::all(self.num_colors())
+    }
+
+    /// The colors of bank-unit `bank` across all channels and ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank >= units()` in debug builds.
+    pub fn unit_colors(&self, bank: u32) -> ColorSet {
+        debug_assert!(bank < self.units());
+        let mut s = ColorSet::empty();
+        for ch in 0..self.channels {
+            for ra in 0..self.ranks {
+                s.insert(self.color(ch, ra, bank));
+            }
+        }
+        s
+    }
+
+    /// The colors of all units in `units`.
+    pub fn units_colors(&self, units: impl IntoIterator<Item = u32>) -> ColorSet {
+        let mut s = ColorSet::empty();
+        for u in units {
+            s = s.union(&self.unit_colors(u));
+        }
+        s
+    }
+
+    /// Every color belonging to `channel` (all its ranks and banks) — the
+    /// allocation unit of MCP-style channel partitioning.
+    pub fn channel_colors(&self, channel: u32) -> ColorSet {
+        let mut s = ColorSet::empty();
+        for ra in 0..self.ranks {
+            for ba in 0..self.banks {
+                s.insert(self.color(channel, ra, ba));
+            }
+        }
+        s
+    }
+
+    /// The units represented in `colors`.
+    pub fn units_of(&self, colors: &ColorSet) -> Vec<u32> {
+        (0..self.units())
+            .filter(|&u| !self.unit_colors(u).intersection(colors).is_empty())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_mapper_color_layout() {
+        let cfg = DramConfig::default();
+        let topo = ColorTopology::from_dram(&cfg);
+        let mapper = dbp_dram::AddressMapper::new(&cfg);
+        for ch in 0..cfg.channels {
+            for ra in 0..cfg.ranks_per_channel {
+                for ba in 0..cfg.banks_per_rank {
+                    let d = dbp_dram::DecodedAddr { channel: ch, rank: ra, bank: ba, row: 0, column: 0 };
+                    assert_eq!(topo.color(ch, ra, ba), mapper.color_of(&d));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unit_spans_all_channels_and_ranks() {
+        let topo = ColorTopology::new(2, 2, 8);
+        assert_eq!(topo.units(), 8);
+        let u = topo.unit_colors(3);
+        assert_eq!(u.len(), 4); // 2 channels x 2 ranks
+        assert!(u.contains(topo.color(0, 0, 3)));
+        assert!(u.contains(topo.color(1, 1, 3)));
+        assert!(!u.contains(topo.color(0, 0, 4)));
+    }
+
+    #[test]
+    fn contiguous_units_balance_channels() {
+        let topo = ColorTopology::new(2, 1, 8);
+        // Every unit spans both channels, so any range is balanced.
+        let s = topo.units_colors(2..6);
+        let per_channel: Vec<u32> = (0..2)
+            .map(|ch| topo.channel_colors(ch).intersection(&s).len())
+            .collect();
+        assert_eq!(per_channel, vec![4, 4]);
+    }
+
+    #[test]
+    fn units_partition_the_color_space() {
+        let topo = ColorTopology::new(2, 2, 8);
+        let mut acc = ColorSet::empty();
+        for b in 0..topo.units() {
+            let u = topo.unit_colors(b);
+            assert!(acc.is_disjoint(&u));
+            acc = acc.union(&u);
+        }
+        assert_eq!(acc, topo.all_colors());
+    }
+
+    #[test]
+    fn channel_colors_partition_the_space() {
+        let topo = ColorTopology::new(2, 2, 8);
+        let c0 = topo.channel_colors(0);
+        let c1 = topo.channel_colors(1);
+        assert!(c0.is_disjoint(&c1));
+        assert_eq!(c0.union(&c1), topo.all_colors());
+        assert_eq!(c0.len(), 16);
+    }
+
+    #[test]
+    fn units_of_roundtrip() {
+        let topo = ColorTopology::new(2, 2, 8);
+        let colors = topo.units_colors([1, 5]);
+        assert_eq!(topo.units_of(&colors), vec![1, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2() {
+        let _ = ColorTopology::new(3, 1, 8);
+    }
+}

@@ -1,0 +1,454 @@
+//! The abstract out-of-order core.
+
+use std::collections::VecDeque;
+
+use crate::stats::CoreStats;
+use crate::trace::{TraceOp, TraceSource};
+
+/// Core parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Reorder-buffer (instruction window) capacity.
+    pub rob: u64,
+    /// Dispatch/retire width, instructions per cycle.
+    pub width: u32,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig { rob: 128, width: 4 }
+    }
+}
+
+/// How the memory system answered a just-dispatched access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemIssue {
+    /// Satisfied after `latency` CPU cycles (cache hit, or a posted store).
+    Done { latency: u32 },
+    /// A DRAM round-trip is in flight; [`Core::complete`] will be called
+    /// with the access's load id.
+    Pending,
+    /// Resources exhausted (MSHRs, controller queue); retry next cycle.
+    Retry,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Load {
+    seq: u64,
+    id: u64,
+    done_at: Option<u64>,
+    done: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingOp {
+    seq: u64,
+    addr: u64,
+    is_write: bool,
+}
+
+/// One core: consumes a trace, exposes per-cycle [`Core::tick`].
+///
+/// Sequence numbers count instructions. `dispatched - retired` is the
+/// window occupancy; loads sit in `inflight` until their data arrives and
+/// block retirement while at the window head.
+pub struct Core {
+    cfg: CoreConfig,
+    source: Box<dyn TraceSource>,
+    /// Seq of the next instruction to dispatch.
+    dispatched: u64,
+    /// Seq of the next instruction to retire.
+    retired: u64,
+    /// Stream position: seq the next fetched trace op starts from.
+    stream_pos: u64,
+    pending: Option<PendingOp>,
+    inflight: VecDeque<Load>,
+    next_load_id: u64,
+    stats: CoreStats,
+}
+
+impl std::fmt::Debug for Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Core")
+            .field("cfg", &self.cfg)
+            .field("dispatched", &self.dispatched)
+            .field("retired", &self.retired)
+            .field("inflight", &self.inflight.len())
+            .finish()
+    }
+}
+
+impl Core {
+    /// Build a core reading from `source`.
+    pub fn new(cfg: CoreConfig, source: Box<dyn TraceSource>) -> Self {
+        assert!(cfg.rob > 0 && cfg.width > 0, "rob and width must be positive");
+        Core {
+            cfg,
+            source,
+            dispatched: 0,
+            retired: 0,
+            stream_pos: 0,
+            pending: None,
+            inflight: VecDeque::new(),
+            next_load_id: 0,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// Instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Outstanding (not yet completed) loads — the core's instantaneous
+    /// memory-level parallelism.
+    pub fn outstanding_loads(&self) -> usize {
+        self.inflight.iter().filter(|l| !l.done).count()
+    }
+
+    /// Mark the load identified by `load_id` complete (DRAM data arrived).
+    pub fn complete(&mut self, load_id: u64) {
+        for l in &mut self.inflight {
+            if l.id == load_id {
+                l.done = true;
+                l.done_at = None;
+                return;
+            }
+        }
+        debug_assert!(false, "completion for unknown load {load_id}");
+    }
+
+    /// Advance one CPU cycle. `mem` is called for each dispatched memory
+    /// access as `mem(vaddr, is_write, load_id)`.
+    pub fn tick(&mut self, now: u64, mem: &mut dyn FnMut(u64, bool, u64) -> MemIssue) {
+        self.stats.cycles += 1;
+        // 1. Timer-based completions (cache hits with latency).
+        for l in &mut self.inflight {
+            if let Some(at) = l.done_at {
+                if at <= now {
+                    l.done = true;
+                    l.done_at = None;
+                }
+            }
+        }
+        self.retire();
+        self.dispatch(now, mem);
+        self.stats.retired = self.retired;
+    }
+
+    fn retire(&mut self) {
+        let mut budget = u64::from(self.cfg.width);
+        let started = self.retired;
+        while budget > 0 && self.retired < self.dispatched {
+            match self.inflight.front() {
+                Some(front) if front.seq == self.retired => {
+                    if front.done {
+                        self.inflight.pop_front();
+                        self.retired += 1;
+                        budget -= 1;
+                    } else {
+                        break; // head-of-window load still outstanding
+                    }
+                }
+                Some(front) => {
+                    debug_assert!(front.seq > self.retired);
+                    let n = budget
+                        .min(front.seq - self.retired)
+                        .min(self.dispatched - self.retired);
+                    self.retired += n;
+                    budget -= n;
+                }
+                None => {
+                    let n = budget.min(self.dispatched - self.retired);
+                    self.retired += n;
+                    budget -= n;
+                }
+            }
+        }
+        if self.retired == started && self.dispatched > self.retired {
+            self.stats.retire_stall_cycles += 1;
+        }
+    }
+
+    fn dispatch(&mut self, now: u64, mem: &mut dyn FnMut(u64, bool, u64) -> MemIssue) {
+        let mut budget = u64::from(self.cfg.width);
+        while budget > 0 {
+            if self.dispatched - self.retired >= self.cfg.rob {
+                self.stats.window_full_cycles += 1;
+                return;
+            }
+            if self.pending.is_none() {
+                let TraceOp { gap, addr, is_write } = self.source.next_op();
+                let seq = self.stream_pos + u64::from(gap);
+                self.stream_pos = seq + 1;
+                self.pending = Some(PendingOp { seq, addr, is_write });
+            }
+            let p = self.pending.expect("just fetched");
+            if self.dispatched < p.seq {
+                // Dispatch compute instructions up to the memory op.
+                let room = self.cfg.rob - (self.dispatched - self.retired);
+                let n = budget.min(p.seq - self.dispatched).min(room);
+                self.dispatched += n;
+                budget -= n;
+                continue;
+            }
+            debug_assert_eq!(self.dispatched, p.seq);
+            let id = self.next_load_id;
+            match mem(p.addr, p.is_write, id) {
+                MemIssue::Retry => {
+                    self.stats.mem_retry_cycles += 1;
+                    return;
+                }
+                MemIssue::Done { latency } => {
+                    if p.is_write {
+                        self.stats.stores += 1;
+                    } else {
+                        self.stats.loads += 1;
+                        self.next_load_id += 1;
+                        self.inflight.push_back(Load {
+                            seq: p.seq,
+                            id,
+                            done_at: Some(now + u64::from(latency)),
+                            done: latency == 0,
+                        });
+                    }
+                    self.dispatched += 1;
+                    budget -= 1;
+                    self.pending = None;
+                }
+                MemIssue::Pending => {
+                    if p.is_write {
+                        self.stats.stores += 1;
+                        // Posted store: the window slot frees immediately.
+                    } else {
+                        self.stats.loads += 1;
+                        self.inflight.push_back(Load {
+                            seq: p.seq,
+                            id,
+                            done_at: None,
+                            done: false,
+                        });
+                    }
+                    self.next_load_id += 1;
+                    self.dispatched += 1;
+                    budget -= 1;
+                    self.pending = None;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::ReplaySource;
+
+    fn compute_only_core(rob: u64, width: u32) -> Core {
+        let src = ReplaySource::new(vec![TraceOp { gap: 999, addr: 0, is_write: false }]);
+        Core::new(CoreConfig { rob, width }, Box::new(src))
+    }
+
+    #[test]
+    fn compute_retires_at_width() {
+        let mut c = compute_only_core(128, 4);
+        let mut mem = |_a: u64, _w: bool, _id: u64| MemIssue::Done { latency: 1 };
+        for now in 0..100 {
+            c.tick(now, &mut mem);
+        }
+        // Steady state: 4 IPC (minus pipeline fill).
+        assert!(c.retired() >= 4 * 98);
+    }
+
+    #[test]
+    fn hit_latency_is_hidden_by_window() {
+        // gap 8, hits of latency 2: the window covers the latency, IPC ~ width.
+        let src = ReplaySource::new(vec![TraceOp { gap: 8, addr: 64, is_write: false }]);
+        let mut c = Core::new(CoreConfig { rob: 64, width: 4 }, Box::new(src));
+        let mut mem = |_a: u64, _w: bool, _id: u64| MemIssue::Done { latency: 2 };
+        for now in 0..1000 {
+            c.tick(now, &mut mem);
+        }
+        let ipc = c.retired() as f64 / 1000.0;
+        assert!(ipc > 3.0, "ipc {ipc}");
+    }
+
+    #[test]
+    fn pending_load_blocks_retirement() {
+        // Every op is a load that never completes: the core dispatches up
+        // to the window limit and stops retiring.
+        let src = ReplaySource::new(vec![TraceOp { gap: 0, addr: 64, is_write: false }]);
+        let mut c = Core::new(CoreConfig { rob: 16, width: 4 }, Box::new(src));
+        let mut mem = |_a: u64, _w: bool, _id: u64| MemIssue::Pending;
+        for now in 0..100 {
+            c.tick(now, &mut mem);
+        }
+        assert_eq!(c.retired(), 0);
+        assert_eq!(c.outstanding_loads(), 16); // window full of loads
+        assert!(c.stats().window_full_cycles > 0);
+    }
+
+    #[test]
+    fn completion_unblocks_retirement() {
+        let src = ReplaySource::new(vec![TraceOp { gap: 0, addr: 64, is_write: false }]);
+        let mut c = Core::new(CoreConfig { rob: 4, width: 4 }, Box::new(src));
+        let mut ids = Vec::new();
+        let mut mem = |_a: u64, _w: bool, id: u64| {
+            ids.push(id);
+            MemIssue::Pending
+        };
+        for now in 0..10 {
+            c.tick(now, &mut mem);
+        }
+        assert_eq!(c.retired(), 0);
+        drop(mem);
+        for id in ids {
+            c.complete(id);
+        }
+        let mut mem = |_a: u64, _w: bool, _id: u64| MemIssue::Retry;
+        for now in 10..12 {
+            c.tick(now, &mut mem);
+        }
+        assert!(c.retired() >= 4);
+    }
+
+    #[test]
+    fn window_bounds_mlp() {
+        let src = ReplaySource::new(vec![TraceOp { gap: 3, addr: 64, is_write: false }]);
+        let mut c = Core::new(CoreConfig { rob: 16, width: 4 }, Box::new(src));
+        let mut mem = |_a: u64, _w: bool, _id: u64| MemIssue::Pending;
+        for now in 0..100 {
+            c.tick(now, &mut mem);
+        }
+        // gap 3 + 1 load per 4 slots -> at most 4 loads in a 16-entry window.
+        assert_eq!(c.outstanding_loads(), 4);
+    }
+
+    #[test]
+    fn stores_do_not_block() {
+        let src = ReplaySource::new(vec![TraceOp { gap: 0, addr: 64, is_write: true }]);
+        let mut c = Core::new(CoreConfig { rob: 8, width: 2 }, Box::new(src));
+        let mut mem = |_a: u64, _w: bool, _id: u64| MemIssue::Pending;
+        for now in 0..50 {
+            c.tick(now, &mut mem);
+        }
+        assert!(c.retired() > 50, "stores must retire without waiting");
+        assert!(c.stats().stores > 0);
+    }
+
+    #[test]
+    fn retry_stalls_dispatch() {
+        let src = ReplaySource::new(vec![TraceOp { gap: 0, addr: 64, is_write: false }]);
+        let mut c = Core::new(CoreConfig { rob: 8, width: 2 }, Box::new(src));
+        let mut mem = |_a: u64, _w: bool, _id: u64| MemIssue::Retry;
+        for now in 0..20 {
+            c.tick(now, &mut mem);
+        }
+        assert_eq!(c.stats().loads, 0);
+        assert!(c.stats().mem_retry_cycles > 0);
+    }
+
+    #[test]
+    fn ipc_degrades_with_memory_latency() {
+        // Same trace, two latencies: higher latency must not raise IPC.
+        let run = |lat: u32| {
+            let src = ReplaySource::new(vec![TraceOp { gap: 10, addr: 64, is_write: false }]);
+            let mut c = Core::new(CoreConfig::default(), Box::new(src));
+            let mut mem = move |_a: u64, _w: bool, _id: u64| MemIssue::Done { latency: lat };
+            for now in 0..2000 {
+                c.tick(now, &mut mem);
+            }
+            c.retired()
+        };
+        assert!(run(2) >= run(200));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::trace::ReplaySource;
+    use proptest::prelude::*;
+
+    fn arb_trace() -> impl Strategy<Value = Vec<TraceOp>> {
+        prop::collection::vec(
+            (0u32..50, 0u64..1_000_000, any::<bool>())
+                .prop_map(|(gap, page, is_write)| TraceOp { gap, addr: page << 6, is_write }),
+            1..40,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The window bound holds for any trace and any memory behaviour:
+        /// outstanding loads never exceed the ROB, and retired count is
+        /// monotone and bounded by dispatch.
+        #[test]
+        fn window_invariants_hold(
+            trace in arb_trace(),
+            rob in 1u64..64,
+            width in 1u32..8,
+            latencies in prop::collection::vec(0u32..400, 8),
+        ) {
+            let mut core = Core::new(
+                CoreConfig { rob, width },
+                Box::new(ReplaySource::new(trace)),
+            );
+            let mut k = 0usize;
+            let mut pending: Vec<u64> = Vec::new();
+            let mut last_retired = 0;
+            for now in 0..400u64 {
+                let mut issued = Vec::new();
+                let mut mem = |_a: u64, is_write: bool, id: u64| {
+                    k += 1;
+                    match k % 3 {
+                        0 => MemIssue::Retry,
+                        1 => MemIssue::Done { latency: latencies[k % latencies.len()] },
+                        _ => {
+                            if !is_write {
+                                // Only loads produce completion callbacks.
+                                issued.push(id);
+                            }
+                            MemIssue::Pending
+                        }
+                    }
+                };
+                core.tick(now, &mut mem);
+                drop(mem);
+                pending.extend(issued);
+                // Randomly complete one pending load.
+                if now % 7 == 0 {
+                    if let Some(id) = pending.pop() {
+                        core.complete(id);
+                    }
+                }
+                prop_assert!(core.outstanding_loads() as u64 <= rob);
+                prop_assert!(core.retired() >= last_retired, "retirement is monotone");
+                last_retired = core.retired();
+            }
+        }
+
+        /// With every access hitting instantly, IPC approaches the width.
+        #[test]
+        fn ideal_memory_reaches_peak_ipc(width in 1u32..6) {
+            let trace = vec![TraceOp { gap: 10, addr: 64, is_write: false }];
+            let mut core = Core::new(
+                CoreConfig { rob: 256, width },
+                Box::new(ReplaySource::new(trace)),
+            );
+            let mut mem = |_a: u64, _w: bool, _id: u64| MemIssue::Done { latency: 0 };
+            let cycles = 2000u64;
+            for now in 0..cycles {
+                core.tick(now, &mut mem);
+            }
+            let ipc = core.retired() as f64 / cycles as f64;
+            prop_assert!(ipc > f64::from(width) * 0.9, "ipc {ipc} width {width}");
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Trace-driven core model with ROB-limited memory-level parallelism.
+//!
+//! Each core consumes an infinite stream of [`trace::TraceOp`]s — "`gap`
+//! compute instructions, then one memory access" — and models an
+//! out-of-order window abstractly:
+//!
+//! - Compute instructions dispatch and retire at up to `width` per cycle.
+//! - Loads occupy the window until their data returns; retirement is
+//!   in-order, so an outstanding load at the window head stalls the core.
+//! - Dispatch stalls when the window (`rob`) is full, which naturally
+//!   bounds the core's achievable memory-level parallelism.
+//! - Stores complete immediately (an ideal store buffer); their DRAM
+//!   traffic is modelled by the cache hierarchy's write-backs.
+//!
+//! This is the standard abstraction used by memory-scheduling studies
+//! (USIMM-style): faithful enough to expose bank-level parallelism and
+//! latency sensitivity, cheap enough to sweep hundreds of configurations.
+
+pub mod core_model;
+pub mod stats;
+pub mod trace;
+
+pub use core_model::{Core, CoreConfig, MemIssue};
+pub use stats::CoreStats;
+pub use trace::{ReplaySource, TraceOp, TraceSource};

@@ -1,0 +1,57 @@
+//! Per-core execution counters.
+
+/// Counters accumulated by [`crate::Core`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Cycles ticked.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub retired: u64,
+    /// Loads dispatched to the memory system.
+    pub loads: u64,
+    /// Stores dispatched to the memory system.
+    pub stores: u64,
+    /// Cycles in which nothing retired while work was in flight.
+    pub retire_stall_cycles: u64,
+    /// Cycles dispatch stopped because the window was full.
+    pub window_full_cycles: u64,
+    /// Cycles dispatch stopped because the memory system said retry.
+    pub mem_retry_cycles: u64,
+}
+
+impl CoreStats {
+    /// Instructions per cycle so far.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.retired as f64 / self.cycles as f64
+    }
+
+    /// Memory accesses per kilo-instruction (loads + stores).
+    pub fn apki(&self) -> f64 {
+        if self.retired == 0 {
+            return 0.0;
+        }
+        (self.loads + self.stores) as f64 * 1000.0 / self.retired as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_apki() {
+        let s = CoreStats { cycles: 100, retired: 250, loads: 20, stores: 5, ..Default::default() };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.apki() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_safe() {
+        let s = CoreStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.apki(), 0.0);
+    }
+}

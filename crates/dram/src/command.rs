@@ -1,0 +1,119 @@
+//! DRAM commands as issued by the memory controller.
+
+/// Location of a bank within the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Loc {
+    pub channel: u32,
+    pub rank: u32,
+    pub bank: u32,
+}
+
+impl Loc {
+    pub fn new(channel: u32, rank: u32, bank: u32) -> Self {
+        Loc { channel, rank, bank }
+    }
+}
+
+/// The kind of a [`Command`], without operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommandKind {
+    Activate,
+    Read,
+    Write,
+    Precharge,
+    RefreshRank,
+}
+
+/// One DRAM command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Open `row` in the addressed bank.
+    Activate { loc: Loc, row: u32 },
+    /// Column read from the open row. `auto_pre` closes the row afterwards.
+    Read { loc: Loc, column: u32, auto_pre: bool },
+    /// Column write to the open row. `auto_pre` closes the row afterwards.
+    Write { loc: Loc, column: u32, auto_pre: bool },
+    /// Close the open row.
+    Precharge { loc: Loc },
+    /// Refresh every bank of one rank (requires all its banks precharged).
+    RefreshRank { channel: u32, rank: u32 },
+}
+
+impl Command {
+    /// Convenience constructor for [`Command::Activate`].
+    pub fn activate(channel: u32, rank: u32, bank: u32, row: u32) -> Self {
+        Command::Activate { loc: Loc::new(channel, rank, bank), row }
+    }
+
+    /// Convenience constructor for [`Command::Read`].
+    ///
+    /// The `row` argument is accepted for call-site readability but only
+    /// checked by the device (the read targets whatever row is open).
+    pub fn read(channel: u32, rank: u32, bank: u32, _row: u32, column: u32, auto_pre: bool) -> Self {
+        Command::Read { loc: Loc::new(channel, rank, bank), column, auto_pre }
+    }
+
+    /// Convenience constructor for [`Command::Write`].
+    pub fn write(channel: u32, rank: u32, bank: u32, column: u32, auto_pre: bool) -> Self {
+        Command::Write { loc: Loc::new(channel, rank, bank), column, auto_pre }
+    }
+
+    /// Convenience constructor for [`Command::Precharge`].
+    pub fn precharge(channel: u32, rank: u32, bank: u32) -> Self {
+        Command::Precharge { loc: Loc::new(channel, rank, bank) }
+    }
+
+    /// The command's channel.
+    pub fn channel(&self) -> u32 {
+        match self {
+            Command::Activate { loc, .. }
+            | Command::Read { loc, .. }
+            | Command::Write { loc, .. }
+            | Command::Precharge { loc } => loc.channel,
+            Command::RefreshRank { channel, .. } => *channel,
+        }
+    }
+
+    /// The command's kind.
+    pub fn kind(&self) -> CommandKind {
+        match self {
+            Command::Activate { .. } => CommandKind::Activate,
+            Command::Read { .. } => CommandKind::Read,
+            Command::Write { .. } => CommandKind::Write,
+            Command::Precharge { .. } => CommandKind::Precharge,
+            Command::RefreshRank { .. } => CommandKind::RefreshRank,
+        }
+    }
+
+    /// Whether this is a column (data-moving) command.
+    pub fn is_column(&self) -> bool {
+        matches!(self, Command::Read { .. } | Command::Write { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_location() {
+        let c = Command::activate(1, 0, 3, 99);
+        assert_eq!(c.channel(), 1);
+        assert_eq!(c.kind(), CommandKind::Activate);
+        match c {
+            Command::Activate { loc, row } => {
+                assert_eq!(loc, Loc::new(1, 0, 3));
+                assert_eq!(row, 99);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn column_classification() {
+        assert!(Command::read(0, 0, 0, 0, 0, false).is_column());
+        assert!(Command::write(0, 0, 0, 0, false).is_column());
+        assert!(!Command::precharge(0, 0, 0).is_column());
+        assert!(!Command::RefreshRank { channel: 0, rank: 0 }.is_column());
+    }
+}

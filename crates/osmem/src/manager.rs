@@ -1,0 +1,552 @@
+//! The memory-manager facade: translation, partition updates, migration.
+
+use dbp_dram::{AddressMapper, DramConfig};
+
+use crate::allocator::FrameAllocator;
+use crate::page_table::PageTable;
+use crate::{ColorSet, Frame, ThreadId, Vpn};
+
+/// When pages that violate a new partition get moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MigrationMode {
+    /// All violating resident pages move at [`MemoryManager::set_partition`]
+    /// time.
+    Eager,
+    /// Violating pages move on the thread's next access to them. This is
+    /// the default: it spreads migration traffic over the epoch, matching
+    /// how MCP-style repartitioning is deployed.
+    #[default]
+    Lazy,
+}
+
+/// A page copy the simulator must charge to the DRAM model
+/// (`page_bytes / line_bytes` reads of the old frame plus as many writes
+/// of the new frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationJob {
+    pub thread: ThreadId,
+    pub vpn: Vpn,
+    pub old_frame: Frame,
+    pub new_frame: Frame,
+}
+
+/// Result of a translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// Physical byte address.
+    pub pa: u64,
+    /// Whether this access demand-allocated the page (first touch).
+    pub allocated: bool,
+    /// A lazy migration triggered by this access, if any.
+    pub migration: Option<MigrationJob>,
+}
+
+/// Allocation and migration counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OsStats {
+    /// Demand allocations.
+    pub allocations: u64,
+    /// Allocations that fell outside the thread's partition because it was
+    /// exhausted.
+    pub fallback_allocations: u64,
+    /// Pages migrated to honour a partition change.
+    pub migrated_pages: u64,
+    /// Migrations skipped because the target partition had no free frame.
+    pub failed_migrations: u64,
+    /// Migrations deferred because the per-epoch budget was exhausted
+    /// (the page keeps its old frame until a later epoch).
+    pub deferred_migrations: u64,
+}
+
+/// Per-thread page tables over a shared color-aware frame allocator.
+#[derive(Debug, Clone)]
+pub struct MemoryManager {
+    mapper: AddressMapper,
+    allocator: FrameAllocator,
+    tables: Vec<PageTable>,
+    partitions: Vec<ColorSet>,
+    mode: MigrationMode,
+    page_bits: u32,
+    stats: OsStats,
+    /// Remaining migrations until the next [`MemoryManager::refill_migration_budget`].
+    /// `None` = unlimited.
+    migration_budget: Option<u64>,
+}
+
+impl MemoryManager {
+    /// Build a manager for `threads` threads, each initially allowed every
+    /// color (unpartitioned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid or its mapping cannot color frames.
+    pub fn new(cfg: &DramConfig, threads: usize, mode: MigrationMode) -> Self {
+        let mapper = AddressMapper::new(cfg);
+        let allocator = FrameAllocator::new(cfg);
+        let all = ColorSet::all(allocator.num_colors());
+        MemoryManager {
+            page_bits: mapper.page_bits(),
+            mapper,
+            allocator,
+            tables: (0..threads).map(|_| PageTable::new()).collect(),
+            partitions: vec![all; threads],
+            mode,
+            stats: OsStats::default(),
+            migration_budget: None,
+        }
+    }
+
+    /// Limit migrations until the next refill. A real migration daemon is
+    /// throttled; an unbounded lazy migration of a large footprint would
+    /// flood the memory system for entire epochs.
+    pub fn refill_migration_budget(&mut self, pages: Option<u64>) {
+        self.migration_budget = pages;
+    }
+
+    /// Consume one unit of migration budget; `false` means the migration
+    /// must be deferred.
+    fn take_budget(&mut self) -> bool {
+        match &mut self.migration_budget {
+            None => true,
+            Some(0) => {
+                self.stats.deferred_migrations += 1;
+                false
+            }
+            Some(b) => {
+                *b -= 1;
+                true
+            }
+        }
+    }
+
+    /// The address mapper (layout) in force.
+    pub fn mapper(&self) -> &AddressMapper {
+        &self.mapper
+    }
+
+    /// Number of page colors.
+    pub fn num_colors(&self) -> u32 {
+        self.allocator.num_colors()
+    }
+
+    /// Number of threads managed.
+    pub fn num_threads(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> &OsStats {
+        &self.stats
+    }
+
+    /// The partition currently applied to `thread`.
+    pub fn partition_of(&self, thread: ThreadId) -> &ColorSet {
+        &self.partitions[thread]
+    }
+
+    /// Resident pages of `thread`.
+    pub fn resident_pages(&self, thread: ThreadId) -> usize {
+        self.tables[thread].resident_pages()
+    }
+
+    fn alloc_for(&mut self, thread: ThreadId) -> Frame {
+        if let Some(f) = self.allocator.alloc(&self.partitions[thread]) {
+            self.stats.allocations += 1;
+            return f;
+        }
+        // Partition exhausted: a real OS spills rather than OOM-killing.
+        self.stats.allocations += 1;
+        self.stats.fallback_allocations += 1;
+        self.allocator
+            .alloc(&ColorSet::all(self.allocator.num_colors()))
+            .expect("physical memory exhausted")
+    }
+
+    /// Translate `vaddr` for `thread`, demand-allocating on first touch
+    /// and performing a lazy migration if the page violates the thread's
+    /// current partition.
+    pub fn translate(&mut self, thread: ThreadId, vaddr: u64) -> Translation {
+        let vpn = vaddr >> self.page_bits;
+        let offset = vaddr & ((1 << self.page_bits) - 1);
+        if let Some(frame) = self.tables[thread].translate(vpn) {
+            let violates = !self.partitions[thread].contains(self.allocator.color_of(frame));
+            if violates && self.mode == MigrationMode::Lazy && self.take_budget() {
+                if let Some(new_frame) = self.allocator.alloc(&self.partitions[thread]) {
+                    self.allocator.free(frame);
+                    self.tables[thread].map(vpn, new_frame);
+                    self.stats.migrated_pages += 1;
+                    return Translation {
+                        pa: (new_frame << self.page_bits) | offset,
+                        allocated: false,
+                        migration: Some(MigrationJob {
+                            thread,
+                            vpn,
+                            old_frame: frame,
+                            new_frame,
+                        }),
+                    };
+                }
+                self.stats.failed_migrations += 1;
+            }
+            return Translation {
+                pa: (frame << self.page_bits) | offset,
+                allocated: false,
+                migration: None,
+            };
+        }
+        let frame = self.alloc_for(thread);
+        self.tables[thread].map(vpn, frame);
+        Translation {
+            pa: (frame << self.page_bits) | offset,
+            allocated: true,
+            migration: None,
+        }
+    }
+
+    /// Apply a new partition to `thread`.
+    ///
+    /// In [`MigrationMode::Eager`] every violating resident page is moved
+    /// now and returned as a [`MigrationJob`]; in lazy mode the returned
+    /// vector is empty and pages move on next touch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `colors` is empty.
+    pub fn set_partition(&mut self, thread: ThreadId, colors: ColorSet) -> Vec<MigrationJob> {
+        assert!(!colors.is_empty(), "a thread partition must contain at least one color");
+        self.partitions[thread] = colors;
+        if self.mode != MigrationMode::Eager {
+            return Vec::new();
+        }
+        let mut violating: Vec<(Vpn, Frame)> = self.tables[thread]
+            .iter()
+            .filter(|&(_, f)| !colors.contains(self.allocator.color_of(f)))
+            .collect();
+        violating.sort_unstable(); // page tables hash-iterate nondeterministically
+        let mut jobs = Vec::with_capacity(violating.len());
+        for (vpn, old_frame) in violating {
+            if !self.take_budget() {
+                break;
+            }
+            match self.allocator.alloc(&colors) {
+                Some(new_frame) => {
+                    self.allocator.free(old_frame);
+                    self.tables[thread].map(vpn, new_frame);
+                    self.stats.migrated_pages += 1;
+                    jobs.push(MigrationJob { thread, vpn, old_frame, new_frame });
+                }
+                None => {
+                    self.stats.failed_migrations += 1;
+                }
+            }
+        }
+        jobs
+    }
+
+    /// Spread `thread`'s resident pages evenly across the colors of its
+    /// partition, moving at most the remaining migration budget.
+    ///
+    /// Needed when a partition *grows*: pages allocated under the old,
+    /// smaller partition are legal under the new one but concentrated on
+    /// few banks, so the thread cannot reach the bank-level parallelism
+    /// its new allocation permits — the exact resource DBP grants it.
+    /// Colors are only drained while they exceed the per-color average by
+    /// a slack of 25 % + 4 pages, so a balanced thread is never churned.
+    pub fn rebalance_thread(&mut self, thread: ThreadId) -> Vec<MigrationJob> {
+        let part = self.partitions[thread];
+        let colors: Vec<_> = part.iter().collect();
+        if colors.len() < 2 {
+            return Vec::new();
+        }
+        let mut buckets: Vec<Vec<(Vpn, Frame)>> = vec![Vec::new(); colors.len()];
+        let mut outside = 0usize;
+        for (vpn, frame) in self.tables[thread].iter() {
+            match colors.iter().position(|&c| c == self.allocator.color_of(frame)) {
+                Some(k) => buckets[k].push((vpn, frame)),
+                None => outside += 1,
+            }
+        }
+        for b in &mut buckets {
+            b.sort_unstable(); // deterministic despite hash-order iteration
+        }
+        let resident: usize = buckets.iter().map(Vec::len).sum::<usize>() + outside;
+        let target = resident / colors.len();
+        let slack = target / 4 + 4;
+        let mut jobs = Vec::new();
+        for k in 0..colors.len() {
+            while buckets[k].len() > target + slack {
+                if !self.take_budget() {
+                    return jobs;
+                }
+                // Receive into the least-loaded color with a free frame.
+                let Some(dest) = (0..colors.len())
+                    .filter(|&d| d != k && self.allocator.free_in_color(colors[d]) > 0)
+                    .min_by_key(|&d| buckets[d].len())
+                else {
+                    return jobs;
+                };
+                if buckets[dest].len() + 1 >= buckets[k].len() {
+                    break; // no strict improvement left
+                }
+                let (vpn, old_frame) = buckets[k].pop().expect("bucket over target");
+                let new_frame = self
+                    .allocator
+                    .alloc_color(colors[dest])
+                    .expect("checked free frame");
+                self.allocator.free(old_frame);
+                self.tables[thread].map(vpn, new_frame);
+                self.stats.migrated_pages += 1;
+                buckets[dest].push((vpn, new_frame));
+                jobs.push(MigrationJob { thread, vpn, old_frame, new_frame });
+            }
+        }
+        jobs
+    }
+
+    /// Instantly remap every violating page of every thread into its
+    /// partition, ignoring cost and budget.
+    ///
+    /// Used at the end of a simulation's warmup phase: measurement starts
+    /// from the steady state the OS would have reached, instead of
+    /// charging the transition to whichever epoch it straddles.
+    ///
+    /// Returns the number of pages moved.
+    pub fn conform_all(&mut self) -> u64 {
+        let saved_budget = self.migration_budget.take();
+        let mut moved = 0;
+        for thread in 0..self.tables.len() {
+            let part = self.partitions[thread];
+            let mut violating: Vec<(Vpn, Frame)> = self.tables[thread]
+                .iter()
+                .filter(|&(_, f)| !part.contains(self.allocator.color_of(f)))
+                .collect();
+            violating.sort_unstable();
+            for (vpn, old_frame) in violating {
+                if let Some(new_frame) = self.allocator.alloc(&part) {
+                    self.allocator.free(old_frame);
+                    self.tables[thread].map(vpn, new_frame);
+                    moved += 1;
+                } else {
+                    self.stats.failed_migrations += 1;
+                }
+            }
+            moved += self.rebalance_thread(thread).len() as u64;
+        }
+        self.migration_budget = saved_budget;
+        moved
+    }
+
+    /// Count of `thread`'s resident pages that violate its partition
+    /// (non-zero only in lazy mode between repartition and touch).
+    pub fn violating_pages(&self, thread: ThreadId) -> usize {
+        let part = &self.partitions[thread];
+        self.tables[thread]
+            .iter()
+            .filter(|&(_, f)| !part.contains(self.allocator.color_of(f)))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DramConfig {
+        DramConfig { rows_per_bank: 64, ..DramConfig::default() }
+    }
+
+    #[test]
+    fn first_touch_allocates_in_partition() {
+        let mut mm = MemoryManager::new(&cfg(), 2, MigrationMode::Lazy);
+        mm.set_partition(0, ColorSet::from_iter([1u32]));
+        let t = mm.translate(0, 0x1234_5678);
+        assert!(t.allocated);
+        let frame = t.pa >> 12;
+        assert_eq!(mm.mapper().frame_color(frame), Some(1));
+        // Offset preserved.
+        assert_eq!(t.pa & 0xfff, 0x678);
+    }
+
+    #[test]
+    fn repeat_touch_reuses_frame() {
+        let mut mm = MemoryManager::new(&cfg(), 1, MigrationMode::Lazy);
+        let a = mm.translate(0, 0x1000);
+        let b = mm.translate(0, 0x1040);
+        assert!(!b.allocated);
+        assert_eq!(a.pa >> 12, b.pa >> 12);
+    }
+
+    #[test]
+    fn threads_have_separate_address_spaces() {
+        let mut mm = MemoryManager::new(&cfg(), 2, MigrationMode::Lazy);
+        let a = mm.translate(0, 0x1000);
+        let b = mm.translate(1, 0x1000);
+        assert_ne!(a.pa >> 12, b.pa >> 12);
+    }
+
+    #[test]
+    fn eager_repartition_moves_pages() {
+        let mut mm = MemoryManager::new(&cfg(), 1, MigrationMode::Eager);
+        mm.set_partition(0, ColorSet::from_iter([0u32]));
+        for p in 0..8u64 {
+            mm.translate(0, p << 12);
+        }
+        let jobs = mm.set_partition(0, ColorSet::from_iter([5u32]));
+        assert_eq!(jobs.len(), 8);
+        for j in &jobs {
+            assert_eq!(mm.mapper().frame_color(j.new_frame), Some(5));
+        }
+        assert_eq!(mm.violating_pages(0), 0);
+        assert_eq!(mm.stats().migrated_pages, 8);
+    }
+
+    #[test]
+    fn lazy_repartition_moves_on_touch() {
+        let mut mm = MemoryManager::new(&cfg(), 1, MigrationMode::Lazy);
+        mm.set_partition(0, ColorSet::from_iter([0u32]));
+        mm.translate(0, 0x1000);
+        let jobs = mm.set_partition(0, ColorSet::from_iter([3u32]));
+        assert!(jobs.is_empty());
+        assert_eq!(mm.violating_pages(0), 1);
+        let t = mm.translate(0, 0x1000);
+        let job = t.migration.expect("touch must migrate");
+        assert_eq!(mm.mapper().frame_color(job.new_frame), Some(3));
+        assert_eq!(mm.violating_pages(0), 0);
+        // Subsequent touches are clean.
+        assert!(mm.translate(0, 0x1000).migration.is_none());
+    }
+
+    #[test]
+    fn exhausted_partition_falls_back() {
+        let mut mm = MemoryManager::new(&cfg(), 1, MigrationMode::Lazy);
+        mm.set_partition(0, ColorSet::from_iter([0u32]));
+        // 64 rows x 2 pages per row = 128 frames per color.
+        for p in 0..200u64 {
+            mm.translate(0, p << 12);
+        }
+        assert!(mm.stats().fallback_allocations > 0);
+        assert_eq!(mm.resident_pages(0), 200);
+    }
+
+    #[test]
+    fn budget_defers_lazy_migrations() {
+        let mut mm = MemoryManager::new(&cfg(), 1, MigrationMode::Lazy);
+        mm.set_partition(0, ColorSet::from_iter([0u32]));
+        for p in 0..10u64 {
+            mm.translate(0, p << 12);
+        }
+        mm.set_partition(0, ColorSet::from_iter([3u32]));
+        mm.refill_migration_budget(Some(4));
+        for p in 0..10u64 {
+            mm.translate(0, p << 12);
+        }
+        assert_eq!(mm.stats().migrated_pages, 4);
+        assert_eq!(mm.stats().deferred_migrations, 6);
+        assert_eq!(mm.violating_pages(0), 6);
+        // Refill lets the rest move.
+        mm.refill_migration_budget(Some(100));
+        for p in 0..10u64 {
+            mm.translate(0, p << 12);
+        }
+        assert_eq!(mm.violating_pages(0), 0);
+    }
+
+    #[test]
+    fn conform_all_moves_everything_instantly() {
+        let mut mm = MemoryManager::new(&cfg(), 2, MigrationMode::Lazy);
+        mm.set_partition(0, ColorSet::from_iter([0u32]));
+        mm.set_partition(1, ColorSet::from_iter([1u32]));
+        for p in 0..5u64 {
+            mm.translate(0, p << 12);
+            mm.translate(1, p << 12);
+        }
+        mm.set_partition(0, ColorSet::from_iter([2u32]));
+        mm.set_partition(1, ColorSet::from_iter([3u32]));
+        mm.refill_migration_budget(Some(0)); // conform ignores the budget
+        let moved = mm.conform_all();
+        assert_eq!(moved, 10);
+        assert_eq!(mm.violating_pages(0), 0);
+        assert_eq!(mm.violating_pages(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one color")]
+    fn empty_partition_panics() {
+        let mut mm = MemoryManager::new(&cfg(), 1, MigrationMode::Lazy);
+        mm.set_partition(0, ColorSet::empty());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small_cfg() -> DramConfig {
+        DramConfig { rows_per_bank: 64, ..DramConfig::default() }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// No two (thread, page) mappings ever share a frame, across any
+        /// interleaving of touches and repartitions.
+        #[test]
+        fn frames_are_never_aliased(
+            script in prop::collection::vec(
+                prop_oneof![
+                    (0usize..3, 0u64..64).prop_map(|(t, v)| (t, v, false)),
+                    (0usize..3, 0u32..16).prop_map(|(t, c)| (t, u64::from(c), true)),
+                ],
+                1..80,
+            ),
+        ) {
+            let mut mm = MemoryManager::new(&small_cfg(), 3, MigrationMode::Lazy);
+            for (thread, arg, is_repartition) in script {
+                if is_repartition {
+                    let mut colors = ColorSet::from_iter([arg as u32]);
+                    colors.insert((arg as u32 + 7) % 32);
+                    mm.set_partition(thread, colors);
+                } else {
+                    mm.translate(thread, arg << 12);
+                }
+            }
+            mm.conform_all();
+            // Re-translate every resident page (stable now: partitions are
+            // conformed) and assert every frame is globally unique.
+            let mut seen = std::collections::HashSet::new();
+            for t in 0..3 {
+                for p in 0..64u64 {
+                    let before = mm.resident_pages(t);
+                    let tr = mm.translate(t, p << 12);
+                    if tr.allocated {
+                        // This page was not resident; undo bookkeeping is
+                        // unnecessary, the fresh frame just joins the set.
+                        prop_assert_eq!(mm.resident_pages(t), before + 1);
+                    }
+                    let frame = tr.pa >> 12;
+                    prop_assert!(seen.insert((frame, ())), "frame {} aliased", frame);
+                }
+            }
+            prop_assert_eq!(mm.stats().failed_migrations, 0);
+        }
+
+        /// Repartition + conform always reaches zero violations.
+        #[test]
+        fn conform_reaches_fixpoint(
+            touches in prop::collection::vec((0usize..2, 0u64..48), 1..60),
+            target_color in 0u32..32,
+        ) {
+            let mut mm = MemoryManager::new(&small_cfg(), 2, MigrationMode::Lazy);
+            for (t, p) in touches {
+                mm.translate(t, p << 12);
+            }
+            mm.set_partition(0, ColorSet::from_iter([target_color]));
+            mm.set_partition(1, ColorSet::from_iter([(target_color + 1) % 32]));
+            mm.refill_migration_budget(Some(3)); // budget must not block conform
+            mm.conform_all();
+            prop_assert_eq!(mm.violating_pages(0), 0);
+            prop_assert_eq!(mm.violating_pages(1), 0);
+        }
+    }
+}

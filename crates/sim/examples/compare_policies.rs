@@ -1,0 +1,44 @@
+//! Dev calibration: one mix under every policy/scheduler combination.
+use dbp_core::policy::PolicyKind;
+use dbp_sim::{runner, SchedulerKind, SimConfig};
+use dbp_workloads::mixes_4core;
+use std::time::Instant;
+
+fn main() {
+    let mix_idx: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let instr: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1_000_000);
+    let mut cfg = SimConfig::default();
+    cfg.dram.rows_per_bank = 2048;
+    cfg.target_instructions = instr;
+    let mixes = mixes_4core();
+    let mix = &mixes[mix_idx];
+    println!("mix {} = {:?}", mix.name, mix.benchmarks);
+    let alone = runner::alone_ipcs(&cfg, mix);
+    println!("alone IPCs: {:?}", alone.iter().map(|v| format!("{v:.3}")).collect::<Vec<_>>());
+    let combos: Vec<(&str, SchedulerKind, PolicyKind)> = vec![
+        ("FRFCFS-shared", SchedulerKind::FrFcfs, PolicyKind::Unpartitioned),
+        ("FRFCFS-EBP   ", SchedulerKind::FrFcfs, PolicyKind::Equal),
+        ("FRFCFS-DBP   ", SchedulerKind::FrFcfs, PolicyKind::Dbp(Default::default())),
+        ("TCM-shared   ", SchedulerKind::Tcm(Default::default()), PolicyKind::Unpartitioned),
+        ("TCM-DBP      ", SchedulerKind::Tcm(Default::default()), PolicyKind::Dbp(Default::default())),
+        ("FRFCFS-MCP   ", SchedulerKind::FrFcfs, PolicyKind::Mcp(Default::default())),
+        ("PARBS-shared ", SchedulerKind::ParBs(Default::default()), PolicyKind::Unpartitioned),
+    ];
+    for (label, sched, policy) in combos {
+        let mut c = cfg.clone();
+        c.scheduler = sched;
+        c.policy = policy;
+        let t0 = Instant::now();
+        let run = runner::run_mix_with_alone(&c, mix, alone.clone());
+        println!(
+            "{label}  WS={:.3} HS={:.3} MS={:.3} rowhit={:.3} migrated={} cyc={} ({:.1?})",
+            run.metrics.weighted_speedup,
+            run.metrics.harmonic_speedup,
+            run.metrics.max_slowdown,
+            run.shared.row_hit_rate,
+            run.shared.migrated_pages,
+            run.shared.total_cycles,
+            t0.elapsed()
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Dev diagnostics: per-thread behaviour under each policy.
+use dbp_core::policy::PolicyKind;
+use dbp_sim::{runner, SchedulerKind, SimConfig};
+use dbp_workloads::mixes_4core;
+
+fn main() {
+    let mix_idx: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let channels: u32 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let ranks: u32 = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let mut cfg = SimConfig::default();
+    cfg.dram.channels = channels;
+    cfg.dram.ranks_per_channel = ranks;
+    cfg.dram.rows_per_bank = 8192 / (channels * ranks); // keep 512 MiB-ish
+    cfg.target_instructions = 1_000_000;
+    let mixes = mixes_4core();
+    let mix = &mixes[mix_idx];
+    println!("mix {} = {:?}  geometry {}ch x {}rk x 8bk", mix.name, mix.benchmarks, channels, ranks);
+    let alone = runner::alone_ipcs(&cfg, mix);
+    for (label, sched, policy) in [
+        ("shared", SchedulerKind::FrFcfs, PolicyKind::Unpartitioned),
+        ("EBP   ", SchedulerKind::FrFcfs, PolicyKind::Equal),
+        ("DBP   ", SchedulerKind::FrFcfs, PolicyKind::Dbp(Default::default())),
+        ("TCM   ", SchedulerKind::Tcm(Default::default()), PolicyKind::Unpartitioned),
+        ("TCMDBP", SchedulerKind::Tcm(Default::default()), PolicyKind::Dbp(Default::default())),
+        ("MCP   ", SchedulerKind::FrFcfs, PolicyKind::Mcp(Default::default())),
+    ] {
+        let mut c = cfg.clone();
+        c.scheduler = sched;
+        c.policy = policy;
+        let run = runner::run_mix_with_alone(&c, mix, alone.clone());
+        print!(
+            "{label} WS={:.3} MS={:.3} rh={:.3} mig={:>5}",
+            run.metrics.weighted_speedup, run.metrics.max_slowdown, run.shared.row_hit_rate, run.shared.migrated_pages
+        );
+        for (i, t) in run.shared.threads.iter().enumerate() {
+            print!("  t{i}[su={:.2} rbl={:.2} blp={:.2} lat={:.0}]", run.metrics.speedups[i], t.rbl, t.blp, t.avg_read_latency);
+        }
+        println!();
+    }
+}

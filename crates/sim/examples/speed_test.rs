@@ -1,0 +1,19 @@
+use dbp_sim::{runner, SimConfig};
+use dbp_workloads::mixes_4core;
+use std::time::Instant;
+
+fn main() {
+    let mut cfg = SimConfig::default();
+    cfg.dram.rows_per_bank = 2048; // 512 MiB, plenty for the footprints
+    cfg.target_instructions = 1_000_000;
+    let mix = &mixes_4core()[12]; // mix100-1, worst case
+    let t0 = Instant::now();
+    let run = runner::run_mix(&cfg, mix);
+    let dt = t0.elapsed();
+    println!("mix100-1 full run (4 alone + 1 shared) took {:.2?}", dt);
+    println!("shared cycles: {}", run.shared.total_cycles);
+    println!("WS={:.3} MS={:.3} rowhit={:.3}", run.weighted_speedup(), run.max_slowdown(), run.shared.row_hit_rate);
+    for (i, t) in run.shared.threads.iter().enumerate() {
+        println!("  t{i} ipc={:.3} alone={:.3} mpki={:.1} rbl={:.2} blp={:.2}", t.ipc, run.alone_ipcs[i], t.mpki, t.rbl, t.blp);
+    }
+}

@@ -1,0 +1,38 @@
+//! Dev tool: full mix sweep with gmean aggregates per policy.
+use dbp_core::policy::PolicyKind;
+use dbp_sim::metrics::gmean;
+use dbp_sim::{runner, SchedulerKind, SimConfig};
+use dbp_workloads::mixes_4core;
+
+fn main() {
+    let cfg = SimConfig::default();
+    let combos: Vec<(&str, SchedulerKind, PolicyKind)> = vec![
+        ("shared", SchedulerKind::FrFcfs, PolicyKind::Unpartitioned),
+        ("EBP", SchedulerKind::FrFcfs, PolicyKind::Equal),
+        ("DBP", SchedulerKind::FrFcfs, PolicyKind::Dbp(Default::default())),
+        ("TCM", SchedulerKind::Tcm(Default::default()), PolicyKind::Unpartitioned),
+        ("TCMDBP", SchedulerKind::Tcm(Default::default()), PolicyKind::Dbp(Default::default())),
+        ("MCP", SchedulerKind::FrFcfs, PolicyKind::Mcp(Default::default())),
+    ];
+    let mixes = mixes_4core();
+    let mut ws: Vec<Vec<f64>> = vec![Vec::new(); combos.len()];
+    let mut ms: Vec<Vec<f64>> = vec![Vec::new(); combos.len()];
+    for mix in &mixes {
+        let alone = runner::alone_ipcs(&cfg, mix);
+        print!("{:>9}", mix.name);
+        for (k, (label, sched, policy)) in combos.iter().enumerate() {
+            let mut c = cfg.clone();
+            c.scheduler = *sched;
+            c.policy = *policy;
+            let run = runner::run_mix_with_alone(&c, mix, alone.clone());
+            ws[k].push(run.metrics.weighted_speedup);
+            ms[k].push(run.metrics.max_slowdown);
+            print!("  {label}={:.3}/{:.3}", run.metrics.weighted_speedup, run.metrics.max_slowdown);
+        }
+        println!();
+    }
+    println!("\n== gmean WS / gmean MS ==");
+    for (k, (label, ..)) in combos.iter().enumerate() {
+        println!("{label:>7}: WS={:.4} MS={:.4}", gmean(&ws[k]), gmean(&ms[k]));
+    }
+}

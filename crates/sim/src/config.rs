@@ -1,0 +1,212 @@
+//! Whole-system configuration.
+
+use dbp_cache::HierarchyConfig;
+use dbp_core::policy::PolicyKind;
+use dbp_cpu::CoreConfig;
+use dbp_dram::DramConfig;
+use dbp_memctrl::scheduler::{
+    Atlas, AtlasConfig, Bliss, BlissConfig, Fcfs, FrFcfs, FrFcfsCap, FrFcfsCapConfig, ParBs,
+    ParBsConfig, Scheduler, Tcm, TcmConfig,
+};
+use dbp_memctrl::CtrlConfig;
+use dbp_osmem::MigrationMode;
+
+/// Which request scheduler the controller runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedulerKind {
+    Fcfs,
+    FrFcfs,
+    FrFcfsCap(FrFcfsCapConfig),
+    ParBs(ParBsConfig),
+    Atlas(AtlasConfig),
+    Bliss(BlissConfig),
+    Tcm(TcmConfig),
+}
+
+impl SchedulerKind {
+    /// Instantiate the scheduler for `threads` threads.
+    pub fn build(&self, threads: usize) -> Box<dyn Scheduler> {
+        match *self {
+            SchedulerKind::Fcfs => Box::new(Fcfs),
+            SchedulerKind::FrFcfs => Box::new(FrFcfs),
+            SchedulerKind::FrFcfsCap(cfg) => Box::new(FrFcfsCap::new(cfg)),
+            SchedulerKind::ParBs(cfg) => Box::new(ParBs::new(cfg, threads)),
+            SchedulerKind::Atlas(cfg) => Box::new(Atlas::new(cfg, threads)),
+            SchedulerKind::Bliss(cfg) => Box::new(Bliss::new(cfg, threads)),
+            SchedulerKind::Tcm(cfg) => Box::new(Tcm::new(cfg, threads)),
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedulerKind::Fcfs => "FCFS",
+            SchedulerKind::FrFcfs => "FR-FCFS",
+            SchedulerKind::FrFcfsCap(_) => "FR-FCFS+Cap",
+            SchedulerKind::ParBs(_) => "PAR-BS",
+            SchedulerKind::Atlas(_) => "ATLAS",
+            SchedulerKind::Bliss(_) => "BLISS",
+            SchedulerKind::Tcm(_) => "TCM",
+        }
+    }
+}
+
+/// Whether page-migration traffic is charged to the DRAM model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MigrationCost {
+    /// Each migrated page injects line-granularity copy traffic
+    /// (reads of the old frame + writes of the new one).
+    #[default]
+    Charged,
+    /// Migration is instantaneous and free (an upper bound used by the
+    /// migration-cost ablation).
+    Free,
+}
+
+/// Everything needed to build a [`crate::System`].
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    pub dram: DramConfig,
+    pub ctrl: CtrlConfig,
+    pub core: CoreConfig,
+    pub hierarchy: HierarchyConfig,
+    /// Outstanding-miss capacity per core.
+    pub mshrs: usize,
+    /// CPU cycles per DRAM bus cycle (4 GHz CPU over DDR3-1333 ~ 6).
+    pub cpu_per_dram: u64,
+    pub scheduler: SchedulerKind,
+    pub policy: PolicyKind,
+    /// Repartitioning epoch, CPU cycles.
+    pub epoch_cpu_cycles: u64,
+    /// How partition changes move resident pages.
+    pub migration_mode: MigrationMode,
+    pub migration_cost: MigrationCost,
+    /// Instructions each thread executes before measurement starts.
+    /// Warms the caches, lets first-touch allocation place the footprint,
+    /// and lets dynamic policies settle (their first repartition wave —
+    /// including its migration cost — happens here, as in the paper's
+    /// steady-state methodology).
+    pub warmup_instructions: u64,
+    /// Per-thread instruction target *after warmup*; IPC is measured at
+    /// this point.
+    pub target_instructions: u64,
+    /// Hard wall on simulated CPU cycles (safety against livelock).
+    pub max_cpu_cycles: u64,
+    /// How often retired-instruction counts are fed to the profiler,
+    /// CPU cycles (must divide the epoch for clean accounting).
+    pub instr_feed_interval: u64,
+    /// Migration copy granularity: requests injected per migrated page
+    /// (half reads, half writes). 128 = full 4 KiB page at 64 B lines.
+    pub migration_lines_per_page: u32,
+    /// Pages the OS migration daemon may move per epoch (None =
+    /// unthrottled). Caps the disruption a repartition can cause within
+    /// one epoch; the remainder moves in later epochs.
+    pub migration_budget_pages: Option<u64>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            // 2 channels x 1 rank x 8 banks = 16 banks / 16 page colors:
+            // the bank-to-thread ratio of the paper-era 4-core setups
+            // (large enough to matter, small enough that threads contend).
+            dram: DramConfig {
+                ranks_per_channel: 1,
+                rows_per_bank: 8192,
+                ..DramConfig::default()
+            },
+            ctrl: CtrlConfig::default(),
+            core: CoreConfig::default(),
+            hierarchy: HierarchyConfig::default(),
+            mshrs: 32,
+            cpu_per_dram: 6,
+            scheduler: SchedulerKind::FrFcfs,
+            policy: PolicyKind::Unpartitioned,
+            epoch_cpu_cycles: 1_000_000,
+            migration_mode: MigrationMode::Lazy,
+            migration_cost: MigrationCost::Charged,
+            warmup_instructions: 500_000,
+            target_instructions: 1_000_000,
+            max_cpu_cycles: 2_000_000_000,
+            instr_feed_interval: 100_000,
+            migration_lines_per_page: 128,
+            migration_budget_pages: Some(128),
+        }
+    }
+}
+
+impl SimConfig {
+    /// A configuration sized for unit tests: small DRAM, short epochs,
+    /// low instruction targets.
+    pub fn fast_test() -> Self {
+        SimConfig {
+            dram: DramConfig { rows_per_bank: 1024, ..DramConfig::default() },
+            epoch_cpu_cycles: 200_000,
+            warmup_instructions: 20_000,
+            target_instructions: 100_000,
+            max_cpu_cycles: 200_000_000,
+            instr_feed_interval: 20_000,
+            ..Default::default()
+        }
+    }
+
+    /// Validate cross-field consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated requirement.
+    pub fn validate(&self) -> Result<(), String> {
+        self.dram.validate()?;
+        if self.cpu_per_dram == 0 {
+            return Err("cpu_per_dram must be positive".into());
+        }
+        if self.epoch_cpu_cycles == 0 || self.instr_feed_interval == 0 {
+            return Err("epoch and feed interval must be positive".into());
+        }
+        if self.instr_feed_interval > self.epoch_cpu_cycles {
+            return Err("instr_feed_interval must not exceed the epoch".into());
+        }
+        if self.target_instructions == 0 {
+            return Err("target_instructions must be positive".into());
+        }
+        if self.mshrs == 0 {
+            return Err("mshrs must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        SimConfig::default().validate().unwrap();
+        SimConfig::fast_test().validate().unwrap();
+    }
+
+    #[test]
+    fn scheduler_kinds_build() {
+        for k in [
+            SchedulerKind::Fcfs,
+            SchedulerKind::FrFcfs,
+            SchedulerKind::FrFcfsCap(FrFcfsCapConfig::default()),
+            SchedulerKind::ParBs(ParBsConfig::default()),
+            SchedulerKind::Atlas(AtlasConfig::default()),
+            SchedulerKind::Bliss(BlissConfig::default()),
+            SchedulerKind::Tcm(TcmConfig::default()),
+        ] {
+            let s = k.build(4);
+            assert!(!s.name().is_empty());
+            assert!(!k.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_feed_interval() {
+        let mut c = SimConfig::default();
+        c.instr_feed_interval = c.epoch_cpu_cycles + 1;
+        assert!(c.validate().is_err());
+    }
+}

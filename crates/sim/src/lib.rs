@@ -1,0 +1,37 @@
+//! Full-system CMP + DRAM simulator for the DBP reproduction.
+//!
+//! Composes every substrate crate into one cycle-driven system:
+//!
+//! - `dbp-cpu` cores consume synthetic traces and stall on memory;
+//! - `dbp-cache` private L1/L2 hierarchies filter the access stream;
+//! - `dbp-osmem` translates and allocates pages under the active
+//!   partition, migrating pages when the partition changes;
+//! - `dbp-memctrl` + `dbp-dram` serve the misses under a configurable
+//!   scheduler;
+//! - `dbp-core` policies repartition the banks every profiling epoch.
+//!
+//! The CPU and DRAM run in separate clock domains
+//! ([`SimConfig::cpu_per_dram`] CPU cycles per DRAM cycle).
+//!
+//! # Example
+//!
+//! ```
+//! use dbp_sim::{SimConfig, System, runner};
+//! use dbp_workloads::mixes_4core;
+//!
+//! let mut cfg = SimConfig::fast_test();
+//! cfg.target_instructions = 50_000;
+//! let mix = &mixes_4core()[5]; // a 50%-intensive mix
+//! let result = runner::run_mix(&cfg, mix);
+//! assert!(result.weighted_speedup() > 0.0);
+//! ```
+
+pub mod config;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+pub mod system;
+
+pub use config::{MigrationCost, SchedulerKind, SimConfig};
+pub use metrics::{DramActivity, MixMetrics, RunResult, ThreadResult};
+pub use system::System;

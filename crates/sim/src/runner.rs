@@ -1,0 +1,132 @@
+//! Experiment runner: alone runs, shared runs, and metric assembly.
+//!
+//! Methodology (standard for multiprogrammed memory studies, and the one
+//! the paper uses): every thread runs until a fixed instruction target;
+//! threads that finish early keep executing to sustain contention; IPC is
+//! measured at the target. `ipc_alone` comes from running each benchmark
+//! alone on the same memory system with the FR-FCFS baseline and no
+//! partitioning.
+
+use dbp_core::policy::PolicyKind;
+use dbp_cpu::TraceSource;
+use dbp_workloads::{Mix, SyntheticTrace};
+
+use crate::config::{SchedulerKind, SimConfig};
+use crate::metrics::{MixMetrics, RunResult};
+use crate::system::System;
+
+/// A fully measured mix: alone IPCs, the shared run, and the metrics.
+#[derive(Debug, Clone)]
+pub struct MixRun {
+    pub mix_name: &'static str,
+    pub alone_ipcs: Vec<f64>,
+    pub shared: RunResult,
+    pub metrics: MixMetrics,
+}
+
+impl MixRun {
+    /// Weighted speedup of the shared run.
+    pub fn weighted_speedup(&self) -> f64 {
+        self.metrics.weighted_speedup
+    }
+
+    /// Maximum slowdown of the shared run.
+    pub fn max_slowdown(&self) -> f64 {
+        self.metrics.max_slowdown
+    }
+}
+
+/// Deterministic seed for (mix, core): FNV-1a over the mix name plus the
+/// core index, so repeated benchmarks in scaled mixes get distinct
+/// streams.
+pub fn seed_for(mix: &Mix, core: usize) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in mix.name.bytes().chain(mix.benchmarks[core].bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^ (core as u64) << 32
+}
+
+/// The synthetic trace for one core of a mix.
+pub fn trace_for(mix: &Mix, core: usize) -> Box<dyn TraceSource> {
+    let profile = dbp_workloads::profiles::by_name(mix.benchmarks[core]);
+    Box::new(SyntheticTrace::new(profile, seed_for(mix, core)))
+}
+
+/// Alone-run IPC of every benchmark in `mix`: each runs by itself on the
+/// full memory system (FR-FCFS, unpartitioned), regardless of what
+/// `cfg` selects for the shared run.
+pub fn alone_ipcs(cfg: &SimConfig, mix: &Mix) -> Vec<f64> {
+    let mut alone_cfg = cfg.clone();
+    alone_cfg.scheduler = SchedulerKind::FrFcfs;
+    alone_cfg.policy = PolicyKind::Unpartitioned;
+    (0..mix.cores())
+        .map(|i| {
+            let mut sys = System::new(alone_cfg.clone(), vec![trace_for(mix, i)]);
+            let r = sys.run();
+            debug_assert!(r.reached_target, "alone run hit the cycle cap");
+            r.threads[0].ipc
+        })
+        .collect()
+}
+
+/// The shared (co-scheduled) run of `mix` under `cfg`.
+pub fn run_shared(cfg: &SimConfig, mix: &Mix) -> RunResult {
+    let traces = (0..mix.cores()).map(|i| trace_for(mix, i)).collect();
+    let mut sys = System::new(cfg.clone(), traces);
+    sys.run()
+}
+
+/// Alone runs + shared run + metrics in one call.
+pub fn run_mix(cfg: &SimConfig, mix: &Mix) -> MixRun {
+    let alone = alone_ipcs(cfg, mix);
+    run_mix_with_alone(cfg, mix, alone)
+}
+
+/// Shared run + metrics, reusing already-measured alone IPCs (they do not
+/// depend on the scheduler/policy under test, so sweeps share them).
+pub fn run_mix_with_alone(cfg: &SimConfig, mix: &Mix, alone_ipcs: Vec<f64>) -> MixRun {
+    let shared = run_shared(cfg, mix);
+    let metrics = MixMetrics::new(&alone_ipcs, &shared.ipcs());
+    MixRun { mix_name: mix.name, alone_ipcs, shared, metrics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_workloads::mixes_4core;
+
+    fn tiny_cfg() -> SimConfig {
+        let mut cfg = SimConfig::fast_test();
+        cfg.target_instructions = 40_000;
+        cfg
+    }
+
+    #[test]
+    fn seeds_differ_across_cores_and_mixes() {
+        let mixes = mixes_4core();
+        assert_ne!(seed_for(&mixes[0], 0), seed_for(&mixes[0], 1));
+        assert_ne!(seed_for(&mixes[0], 0), seed_for(&mixes[1], 0));
+    }
+
+    #[test]
+    fn run_mix_produces_consistent_metrics() {
+        let cfg = tiny_cfg();
+        let mix = &mixes_4core()[2]; // mix25-1: one intensive + three calm
+        let run = run_mix(&cfg, mix);
+        assert_eq!(run.alone_ipcs.len(), 4);
+        assert!(run.weighted_speedup() > 0.0 && run.weighted_speedup() <= 4.2);
+        assert!(run.max_slowdown() >= 1.0 - 1e-6, "shared can't beat alone");
+    }
+
+    #[test]
+    fn alone_runs_are_reusable() {
+        let cfg = tiny_cfg();
+        let mix = &mixes_4core()[0];
+        let alone = alone_ipcs(&cfg, mix);
+        let a = run_mix_with_alone(&cfg, mix, alone.clone());
+        let b = run_mix_with_alone(&cfg, mix, alone);
+        assert_eq!(a.metrics.weighted_speedup, b.metrics.weighted_speedup);
+    }
+}

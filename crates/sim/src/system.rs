@@ -1,0 +1,599 @@
+//! The composed system and its cycle loop.
+
+use std::collections::{HashMap, VecDeque};
+
+use dbp_cache::{AccessLevel, Hierarchy, Mshr};
+use dbp_core::policy::PartitionPolicy;
+use dbp_core::{ColorTopology, ThreadMemProfile};
+use dbp_cpu::{Core, MemIssue, TraceSource};
+use dbp_dram::DramStats;
+use dbp_memctrl::{Completion, MemRequest, MemoryController, ThreadProf};
+use dbp_osmem::{ColorSet, MemoryManager, MigrationJob, OsStats};
+
+use crate::config::{MigrationCost, SimConfig};
+use crate::metrics::{RunResult, ThreadResult};
+
+/// System-level counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SysStats {
+    /// Repartitioning epochs executed.
+    pub repartitions: u64,
+    /// Migration copy requests injected into the controller.
+    pub migration_requests: u64,
+}
+
+/// One simulated CMP: cores, private caches, OS memory manager, memory
+/// controller, DRAM, and a partitioning policy.
+pub struct System {
+    cfg: SimConfig,
+    cores: Vec<Core>,
+    caches: Vec<Hierarchy>,
+    mshrs: Vec<Mshr>,
+    /// Per core: line address -> load ids waiting on the fill.
+    waiting: Vec<HashMap<u64, Vec<u64>>>,
+    osmem: MemoryManager,
+    ctrl: MemoryController,
+    policy: Box<dyn PartitionPolicy>,
+    topo: ColorTopology,
+    last_plan: Option<Vec<ColorSet>>,
+    /// Request id -> (core, line) for demand-read completions.
+    req_map: HashMap<u64, (usize, u64)>,
+    next_req_id: u64,
+    /// Copy traffic waiting for queue space: (thread, addr, is_write).
+    migration_backlog: VecDeque<(usize, u64, bool)>,
+    last_fed_instr: Vec<u64>,
+    cycle: u64,
+    finish_cycle: Vec<Option<u64>>,
+    completions: Vec<Completion>,
+    stats: SysStats,
+    // Measurement window (set when warmup ends).
+    measure_start: u64,
+    base_retired: Vec<u64>,
+    prof_base: Vec<ThreadProf>,
+    dram_base: Option<DramStats>,
+    os_base: OsStats,
+    sys_base: SysStats,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("cores", &self.cores.len())
+            .field("cycle", &self.cycle)
+            .field("policy", &self.policy.name())
+            .finish()
+    }
+}
+
+impl System {
+    /// Build a system with one core per trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty or the configuration is invalid.
+    pub fn new(cfg: SimConfig, traces: Vec<Box<dyn TraceSource>>) -> Self {
+        cfg.validate().expect("invalid SimConfig");
+        assert!(!traces.is_empty(), "at least one trace required");
+        let n = traces.len();
+        let topo = ColorTopology::from_dram(&cfg.dram);
+        let mut policy = cfg.policy.build();
+        let mut osmem = MemoryManager::new(&cfg.dram, n, cfg.migration_mode);
+        // Install the policy's cold-start plan before any page is touched,
+        // so static policies (equal split) are in force from cycle 0.
+        let cold = vec![ThreadMemProfile::default(); n];
+        let plan = policy.partition(&cold, &topo, None);
+        for (t, colors) in plan.iter().enumerate() {
+            osmem.set_partition(t, *colors);
+        }
+        let dram = dbp_dram::Dram::new(cfg.dram.clone());
+        let ctrl = MemoryController::new(dram, cfg.ctrl, cfg.scheduler.build(n), n);
+        System {
+            cores: traces.into_iter().map(|t| Core::new(cfg.core, t)).collect(),
+            caches: (0..n).map(|_| Hierarchy::new(cfg.hierarchy)).collect(),
+            mshrs: (0..n).map(|_| Mshr::new(cfg.mshrs)).collect(),
+            waiting: (0..n).map(|_| HashMap::new()).collect(),
+            last_plan: Some(plan),
+            req_map: HashMap::new(),
+            next_req_id: 0,
+            migration_backlog: VecDeque::new(),
+            last_fed_instr: vec![0; n],
+            cycle: 0,
+            finish_cycle: vec![None; n],
+            completions: Vec::new(),
+            stats: SysStats::default(),
+            measure_start: 0,
+            base_retired: vec![0; n],
+            prof_base: vec![ThreadProf::default(); n],
+            dram_base: None,
+            os_base: OsStats::default(),
+            sys_base: SysStats::default(),
+            osmem,
+            ctrl,
+            policy,
+            topo,
+            cfg,
+        }
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Current CPU cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// System counters.
+    pub fn stats(&self) -> &SysStats {
+        &self.stats
+    }
+
+    /// The controller (for inspection).
+    pub fn ctrl(&self) -> &MemoryController {
+        &self.ctrl
+    }
+
+    /// The OS memory manager (for inspection).
+    pub fn osmem(&self) -> &MemoryManager {
+        &self.osmem
+    }
+
+    /// The plan currently in force.
+    pub fn current_plan(&self) -> Option<&[ColorSet]> {
+        self.last_plan.as_deref()
+    }
+
+    /// Run the warmup phase, then measure until every core reaches the
+    /// instruction target (or the cycle cap) and return the result.
+    pub fn run(&mut self) -> RunResult {
+        if self.cfg.warmup_instructions > 0 {
+            let warm = self.cfg.warmup_instructions;
+            // Warmup must also span several repartition epochs (plus one
+            // cycle, so no epoch boundary coincides with measurement
+            // start): a dynamic policy's plan — smoothed and debounced —
+            // needs a few epochs to settle, and its settling migrations
+            // belong to warmup, not to the measured steady state.
+            let min_cycles = 4 * self.cfg.epoch_cpu_cycles + 1;
+            while self.cycle < self.cfg.max_cpu_cycles
+                && (self.cycle < min_cycles
+                    || self.cores.iter().any(|c| c.retired() < warm))
+            {
+                self.step();
+            }
+            self.begin_measurement();
+        }
+        while self.cycle < self.cfg.max_cpu_cycles
+            && self.finish_cycle.iter().any(Option::is_none)
+        {
+            self.step();
+        }
+        self.collect()
+    }
+
+    /// Reset the measurement window to start *now* (end of warmup).
+    fn begin_measurement(&mut self) {
+        self.feed_instructions();
+        // Measurement covers the steady state: finish any in-flight
+        // partition transition instantly (and costlessly) so it is not
+        // charged to an arbitrary slice of the measured window.
+        self.osmem.conform_all();
+        self.migration_backlog.clear();
+        self.measure_start = self.cycle;
+        for i in 0..self.cores.len() {
+            self.base_retired[i] = self.cores[i].retired();
+            self.prof_base[i] = self.ctrl.prof().cumulative(i);
+            self.finish_cycle[i] = None;
+        }
+        self.dram_base = Some(self.ctrl.dram().stats().clone());
+        self.os_base = *self.osmem.stats();
+        self.sys_base = self.stats;
+    }
+
+    /// Advance exactly one CPU cycle (exposed for tests and tooling).
+    pub fn step(&mut self) {
+        let cycle = self.cycle;
+        if cycle.is_multiple_of(self.cfg.cpu_per_dram) {
+            self.dram_tick(cycle / self.cfg.cpu_per_dram);
+        }
+        if cycle > 0 && cycle.is_multiple_of(self.cfg.epoch_cpu_cycles) {
+            self.repartition();
+        } else if cycle > 0 && cycle.is_multiple_of(self.cfg.instr_feed_interval) {
+            self.feed_instructions();
+        }
+        self.tick_cores(cycle);
+        for i in 0..self.cores.len() {
+            if self.finish_cycle[i].is_none()
+                && self.cores[i].retired() - self.base_retired[i]
+                    >= self.cfg.target_instructions
+            {
+                self.finish_cycle[i] = Some(cycle + 1);
+            }
+        }
+        self.cycle += 1;
+    }
+
+    fn dram_tick(&mut self, dram_now: u64) {
+        // Feed backlog copy traffic gently (up to 4 requests per cycle).
+        for _ in 0..4 {
+            let Some(&(thread, addr, is_write)) = self.migration_backlog.front() else {
+                break;
+            };
+            let ch = self.ctrl.channel_of(addr);
+            if !self.ctrl.can_accept(ch, is_write) {
+                break;
+            }
+            self.migration_backlog.pop_front();
+            let id = self.next_req_id;
+            self.next_req_id += 1;
+            self.ctrl
+                .enqueue(MemRequest::migration(id, thread, addr, is_write, dram_now));
+            self.stats.migration_requests += 1;
+        }
+        let mut buf = std::mem::take(&mut self.completions);
+        buf.clear();
+        self.ctrl.tick(dram_now, &mut buf);
+        for c in &buf {
+            let (core, line) = self
+                .req_map
+                .remove(&c.id)
+                .expect("completion for unknown request");
+            self.mshrs[core].complete(line);
+            if let Some(waiters) = self.waiting[core].remove(&line) {
+                for load in waiters {
+                    self.cores[core].complete(load);
+                }
+            }
+        }
+        self.completions = buf;
+    }
+
+    fn tick_cores(&mut self, cycle: u64) {
+        let dram_now = cycle / self.cfg.cpu_per_dram;
+        let channels = self.cfg.dram.channels;
+        let write_cap = self.cfg.ctrl.write_q_cap;
+        let charge_migration = self.cfg.migration_cost == MigrationCost::Charged;
+        let lines_per_page = self.cfg.migration_lines_per_page;
+        let page_bytes = u64::from(self.cfg.dram.page_bytes);
+        let System {
+            cores,
+            caches,
+            mshrs,
+            waiting,
+            osmem,
+            ctrl,
+            req_map,
+            next_req_id,
+            migration_backlog,
+            stats,
+            ..
+        } = self;
+        for (i, core) in cores.iter_mut().enumerate() {
+            let cache = &mut caches[i];
+            let mshr = &mut mshrs[i];
+            let waits = &mut waiting[i];
+            let mut mem = |vaddr: u64, is_write: bool, load_id: u64| -> MemIssue {
+                let tr = osmem.translate(i, vaddr);
+                if let Some(job) = tr.migration {
+                    if charge_migration {
+                        queue_migration_traffic(
+                            migration_backlog,
+                            stats,
+                            &job,
+                            lines_per_page,
+                            page_bytes,
+                        );
+                    }
+                }
+                let pa = tr.pa;
+                let line = pa & !63;
+                // Resource pre-flight (only if this will miss the caches).
+                let merged = mshr.contains(line);
+                if !cache.probe(pa) && !merged {
+                    if mshr.is_full() {
+                        return MemIssue::Retry;
+                    }
+                    if !ctrl.can_accept(ctrl.channel_of(line), false) {
+                        return MemIssue::Retry;
+                    }
+                    // Leave head-room for the up-to-two write-backs a fill
+                    // can trigger.
+                    for ch in 0..channels {
+                        if ctrl.queue_len(ch, true) + 2 > write_cap {
+                            return MemIssue::Retry;
+                        }
+                    }
+                }
+                let acc = cache.access(pa, is_write);
+                for wb in &acc.writebacks {
+                    let id = *next_req_id;
+                    *next_req_id += 1;
+                    ctrl.enqueue(MemRequest::writeback(id, i, *wb, dram_now));
+                }
+                match acc.level {
+                    AccessLevel::L1Hit | AccessLevel::L2Hit => {
+                        MemIssue::Done { latency: acc.latency }
+                    }
+                    AccessLevel::MemoryMiss => {
+                        if !merged {
+                            mshr.alloc(line);
+                            let id = *next_req_id;
+                            *next_req_id += 1;
+                            req_map.insert(id, (i, line));
+                            ctrl.enqueue(MemRequest::demand_read(id, i, line, dram_now));
+                        }
+                        if !is_write {
+                            waits.entry(line).or_default().push(load_id);
+                        }
+                        MemIssue::Pending
+                    }
+                }
+            };
+            core.tick(cycle, &mut mem);
+        }
+    }
+
+    fn feed_instructions(&mut self) {
+        for i in 0..self.cores.len() {
+            let retired = self.cores[i].retired();
+            let delta = retired - self.last_fed_instr[i];
+            self.last_fed_instr[i] = retired;
+            self.ctrl.prof_mut().add_instructions(i, delta);
+        }
+    }
+
+    fn repartition(&mut self) {
+        self.feed_instructions();
+        self.osmem
+            .refill_migration_budget(self.cfg.migration_budget_pages);
+        let snap = self.ctrl.prof_mut().take_epoch();
+        let profiles: Vec<ThreadMemProfile> = snap
+            .iter()
+            .map(|p| ThreadMemProfile {
+                mpki: p.mpki(),
+                rbl: p.rbl(),
+                blp: p.blp(),
+                reads: p.reads,
+                bus_cycles: p.bus_cycles,
+            })
+            .collect();
+        let plan = self
+            .policy
+            .partition(&profiles, &self.topo, self.last_plan.as_deref());
+        if std::env::var_os("DBP_TRACE_PLAN").is_some() {
+            eprintln!(
+                "[epoch @{}] profiles: {:?}",
+                self.cycle,
+                profiles
+                    .iter()
+                    .map(|p| format!("mpki={:.1} rbl={:.2} blp={:.2}", p.mpki, p.rbl, p.blp))
+                    .collect::<Vec<_>>()
+            );
+            eprintln!(
+                "[epoch @{}] plan: {}",
+                self.cycle,
+                plan.iter().map(ToString::to_string).collect::<Vec<_>>().join(" | ")
+            );
+        }
+        for (t, colors) in plan.iter().enumerate() {
+            let changed = self
+                .last_plan
+                .as_ref()
+                .is_none_or(|lp| lp[t] != *colors);
+            if changed {
+                let mut jobs = self.osmem.set_partition(t, *colors);
+                // A grown partition needs its pages spread to be useful.
+                jobs.extend(self.osmem.rebalance_thread(t));
+                if self.cfg.migration_cost == MigrationCost::Charged {
+                    for job in &jobs {
+                        queue_migration_traffic(
+                            &mut self.migration_backlog,
+                            &mut self.stats,
+                            job,
+                            self.cfg.migration_lines_per_page,
+                            u64::from(self.cfg.dram.page_bytes),
+                        );
+                    }
+                }
+            }
+        }
+        self.last_plan = Some(plan);
+        self.stats.repartitions += 1;
+    }
+
+    fn collect(&mut self) -> RunResult {
+        self.feed_instructions();
+        let target = self.cfg.target_instructions;
+        let threads: Vec<ThreadResult> = (0..self.cores.len())
+            .map(|i| {
+                let prof = self.ctrl.prof().cumulative(i).delta(&self.prof_base[i]);
+                let cycles = self.finish_cycle[i].unwrap_or(self.cycle) - self.measure_start;
+                let retired = (self.cores[i].retired() - self.base_retired[i]).min(target);
+                ThreadResult {
+                    ipc: retired as f64 / cycles.max(1) as f64,
+                    cycles_to_target: cycles,
+                    reached_target: self.finish_cycle[i].is_some(),
+                    mpki: prof.mpki(),
+                    rbl: prof.rbl(),
+                    blp: prof.blp(),
+                    avg_read_latency: prof.avg_read_latency(),
+                    reads: prof.reads,
+                }
+            })
+            .collect();
+        let dram_stats = match &self.dram_base {
+            Some(base) => self.ctrl.dram().stats().delta(base),
+            None => self.ctrl.dram().stats().clone(),
+        };
+        let elapsed_dram = (self.cycle - self.measure_start) / self.cfg.cpu_per_dram;
+        RunResult {
+            total_cycles: self.cycle - self.measure_start,
+            reached_target: self.finish_cycle.iter().all(Option::is_some),
+            row_hit_rate: {
+                let mut hits = 0u64;
+                let mut total = 0u64;
+                for i in 0..self.cores.len() {
+                    let p = self.ctrl.prof().cumulative(i).delta(&self.prof_base[i]);
+                    hits += p.row_hits;
+                    total += p.row_hits + p.row_misses + p.row_conflicts;
+                }
+                if total == 0 { 0.0 } else { hits as f64 / total as f64 }
+            },
+            dram: crate::metrics::DramActivity {
+                activates: dram_stats.activates,
+                reads: dram_stats.reads,
+                writes: dram_stats.writes,
+                refreshes: dram_stats.refreshes,
+                elapsed: elapsed_dram,
+            },
+            bus_utilisation: dram_stats.bus_utilisation(elapsed_dram.max(1)),
+            accesses_per_activate: dram_stats.accesses_per_activate(),
+            bank_imbalance: dram_stats.bank_imbalance(),
+            migrated_pages: self.osmem.stats().migrated_pages - self.os_base.migrated_pages,
+            migration_requests: self.stats.migration_requests - self.sys_base.migration_requests,
+            repartitions: self.stats.repartitions - self.sys_base.repartitions,
+            fallback_allocations: self.osmem.stats().fallback_allocations
+                - self.os_base.fallback_allocations,
+            threads,
+        }
+    }
+}
+
+/// Expand one page migration into line-granularity copy traffic.
+fn queue_migration_traffic(
+    backlog: &mut VecDeque<(usize, u64, bool)>,
+    stats: &mut SysStats,
+    job: &MigrationJob,
+    lines_per_page: u32,
+    page_bytes: u64,
+) {
+    let half = u64::from(lines_per_page / 2).max(1);
+    let stride = (page_bytes / half).max(64);
+    for k in 0..half {
+        backlog.push_back((job.thread, job.old_frame * page_bytes + k * stride, false));
+        backlog.push_back((job.thread, job.new_frame * page_bytes + k * stride, true));
+    }
+    let _ = stats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedulerKind;
+    use dbp_core::policy::PolicyKind;
+    use dbp_cpu::TraceOp;
+    use dbp_workloads::{profiles, SyntheticTrace};
+
+    fn stream_trace(stride_pages: u64) -> Box<dyn TraceSource> {
+        let mut vpn = 0u64;
+        let mut line = 0u64;
+        Box::new(move || {
+            line += 1;
+            if line == 64 {
+                line = 0;
+                vpn += stride_pages;
+            }
+            TraceOp { gap: 20, addr: (vpn << 12) | (line << 6), is_write: false }
+        })
+    }
+
+    fn small_cfg() -> SimConfig {
+        let mut cfg = SimConfig::fast_test();
+        cfg.target_instructions = 30_000;
+        cfg
+    }
+
+    #[test]
+    fn single_core_reaches_target() {
+        let mut sys = System::new(small_cfg(), vec![stream_trace(1)]);
+        let r = sys.run();
+        assert!(r.reached_target);
+        assert!(r.threads[0].ipc > 0.0);
+        assert!(r.threads[0].reads > 0, "stream must miss to DRAM");
+    }
+
+    #[test]
+    fn ipc_is_deterministic() {
+        let run = || {
+            let t = SyntheticTrace::new(profiles::by_name("mcf"), 7);
+            let mut sys = System::new(small_cfg(), vec![Box::new(t)]);
+            sys.run().threads[0].ipc
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn two_streams_interfere() {
+        let solo = {
+            let mut sys = System::new(small_cfg(), vec![stream_trace(1)]);
+            sys.run().threads[0].ipc
+        };
+        let duo = {
+            let mut sys =
+                System::new(small_cfg(), vec![stream_trace(1), stream_trace(1)]);
+            sys.run().threads[0].ipc
+        };
+        assert!(duo <= solo * 1.01, "co-runner cannot speed a thread up");
+    }
+
+    #[test]
+    fn partitioned_threads_use_disjoint_banks() {
+        let mut cfg = small_cfg();
+        cfg.policy = PolicyKind::Equal;
+        let mut sys = System::new(cfg, vec![stream_trace(1), stream_trace(1)]);
+        sys.run();
+        let plan = sys.current_plan().unwrap();
+        assert!(plan[0].is_disjoint(&plan[1]));
+        // No fallback allocations: partitions were large enough.
+        assert_eq!(sys.osmem().stats().fallback_allocations, 0);
+    }
+
+    #[test]
+    fn dbp_repartitions_during_run() {
+        let mut cfg = small_cfg();
+        cfg.policy = PolicyKind::Dbp(Default::default());
+        cfg.epoch_cpu_cycles = 20_000;
+        cfg.target_instructions = 100_000;
+        cfg.warmup_instructions = 0; // count the settling migrations too
+        let t0 = SyntheticTrace::new(profiles::by_name("mcf"), 1);
+        let t1 = SyntheticTrace::new(profiles::by_name("libquantum"), 2);
+        let mut sys = System::new(cfg, vec![Box::new(t0), Box::new(t1)]);
+        let r = sys.run();
+        assert!(r.repartitions >= 2, "epochs must fire");
+        let plan = sys.current_plan().unwrap();
+        assert!(plan[0].is_disjoint(&plan[1]), "both intensive: disjoint banks");
+        assert!(r.migrated_pages > 0, "repartitioning must move pages");
+    }
+
+    #[test]
+    fn tcm_scheduler_runs_end_to_end() {
+        let mut cfg = small_cfg();
+        cfg.scheduler = SchedulerKind::Tcm(Default::default());
+        let t0 = SyntheticTrace::new(profiles::by_name("mcf"), 1);
+        let t1 = SyntheticTrace::new(profiles::by_name("povray"), 2);
+        let mut sys = System::new(cfg, vec![Box::new(t0), Box::new(t1)]);
+        let r = sys.run();
+        assert!(r.reached_target);
+    }
+
+    #[test]
+    fn migration_cost_free_moves_pages_without_traffic() {
+        let mut cfg = small_cfg();
+        cfg.policy = PolicyKind::Dbp(Default::default());
+        cfg.migration_cost = MigrationCost::Free;
+        cfg.epoch_cpu_cycles = 20_000;
+        let t0 = SyntheticTrace::new(profiles::by_name("mcf"), 1);
+        let t1 = SyntheticTrace::new(profiles::by_name("lbm"), 2);
+        let mut sys = System::new(cfg, vec![Box::new(t0), Box::new(t1)]);
+        let r = sys.run();
+        assert_eq!(r.migration_requests, 0);
+    }
+
+    #[test]
+    fn row_hit_rate_reported() {
+        let mut sys = System::new(small_cfg(), vec![stream_trace(1)]);
+        let r = sys.run();
+        assert!(r.row_hit_rate > 0.5, "a pure stream is row-friendly: {}", r.row_hit_rate);
+    }
+}

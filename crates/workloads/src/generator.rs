@@ -1,0 +1,245 @@
+//! The synthetic trace generator.
+//!
+//! Produces an infinite access stream hitting the profile's MPKI / RBL /
+//! BLP targets:
+//!
+//! - **MPKI**: accesses stride through a footprint much larger than the
+//!   private caches, so essentially every access is an LLC miss; the
+//!   compute gap between accesses is sized so misses-per-kilo-instruction
+//!   matches the target (corrected for the store fraction, since MPKI
+//!   counts demand reads).
+//! - **BLP**: the generator maintains `round(blp)` independent streams in
+//!   disjoint address regions and emits one access from each back-to-back
+//!   (a *burst*), so a window-limited core naturally keeps that many
+//!   misses to distinct pages — hence banks — in flight.
+//! - **RBL**: each stream walks runs of consecutive lines within one page
+//!   (geometric run length with mean `1/(1-rbl)`), then advances to the
+//!   next page of its region (wrapping); consecutive same-page lines hit
+//!   the open row. Sequential page advance matters: it keeps each
+//!   stream's position rotating through the banks in lockstep with its
+//!   siblings, so a thread's streams occupy *distinct* banks at any
+//!   instant — the same property real streaming kernels (multiple arrays
+//!   walked at a common index) have. Low-RBL profiles get short runs, so
+//!   their accesses are effectively random at row granularity regardless.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dbp_cpu::{TraceOp, TraceSource};
+
+use crate::profiles::BenchmarkProfile;
+
+/// Lines per 4 KiB page at 64 B lines.
+const LINES_PER_PAGE: u64 = 64;
+const PAGE_BITS: u32 = 12;
+const LINE_BITS: u32 = 6;
+
+#[derive(Debug, Clone)]
+struct Stream {
+    /// First page of this stream's region.
+    base_vpn: u64,
+    /// Pages in the region.
+    region_pages: u64,
+    vpn: u64,
+    line: u64,
+    run_left: u32,
+}
+
+/// An infinite trace targeting a [`BenchmarkProfile`].
+#[derive(Debug, Clone)]
+pub struct SyntheticTrace {
+    profile: BenchmarkProfile,
+    streams: Vec<Stream>,
+    burst_pos: usize,
+    /// Mean compute gap carried by the first access of each burst.
+    burst_gap: f64,
+    rng: StdRng,
+}
+
+impl SyntheticTrace {
+    /// Build a generator for `profile`, deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile's footprint is too small to give each stream
+    /// at least one page.
+    pub fn new(profile: &BenchmarkProfile, seed: u64) -> Self {
+        let k = (profile.blp.round() as usize).max(1);
+        let region_pages = profile.footprint_pages / k as u64;
+        assert!(region_pages > 0, "footprint too small for {} streams", k);
+        // Regions are spaced out so streams never share a page.
+        let streams = (0..k as u64)
+            .map(|i| Stream {
+                base_vpn: i * region_pages,
+                region_pages,
+                vpn: i * region_pages,
+                line: 0,
+                run_left: 0,
+            })
+            .collect();
+        // Each access should represent `1000 / apki` instructions, where
+        // apki is scaled so the *read* MPKI matches the target despite a
+        // write_frac share of stores.
+        let apki = profile.mpki / (1.0 - profile.write_frac).max(0.05);
+        let per_access_gap = (1000.0 / apki).max(0.0);
+        SyntheticTrace {
+            profile: *profile,
+            streams,
+            burst_pos: 0,
+            burst_gap: per_access_gap * k as f64 - (k as f64 - 1.0),
+            rng: StdRng::seed_from_u64(seed ^ 0x5EED_0000),
+        }
+    }
+
+    /// The profile this trace targets.
+    pub fn profile(&self) -> &BenchmarkProfile {
+        &self.profile
+    }
+
+    fn sample_run(&mut self) -> u32 {
+        // Geometric with continue-probability rbl, capped at a page.
+        let mut run = 1u32;
+        while (run as u64) < LINES_PER_PAGE && self.rng.gen::<f64>() < self.profile.rbl {
+            run += 1;
+        }
+        run
+    }
+}
+
+impl TraceSource for SyntheticTrace {
+    fn next_op(&mut self) -> TraceOp {
+        let k = self.streams.len();
+        // The first access of each burst carries the burst's compute gap,
+        // jittered +/-50% for arrival-time variety; the rest follow
+        // back-to-back so their misses overlap (BLP).
+        let gap = if self.burst_pos == 0 {
+            let jitter = 0.5 + self.rng.gen::<f64>();
+            (self.burst_gap * jitter).round().max(0.0) as u32
+        } else {
+            0
+        };
+        let run = if self.streams[self.burst_pos].run_left == 0
+            || self.streams[self.burst_pos].line >= LINES_PER_PAGE
+        {
+            Some(self.sample_run())
+        } else {
+            None
+        };
+        // Runs start at a random line (with room to complete), so short-run
+        // profiles touch different lines on successive laps of their region
+        // and keep missing the caches.
+        let start = run.map(|r| {
+            self.rng.gen_range(0..=(LINES_PER_PAGE - u64::from(r).min(LINES_PER_PAGE)))
+        });
+        let s = &mut self.streams[self.burst_pos];
+        if let (Some(r), Some(start)) = (run, start) {
+            // Advance to the next page of the region, wrapping around.
+            let next = (s.vpn + 1 - s.base_vpn) % s.region_pages;
+            s.vpn = s.base_vpn + next;
+            s.line = start;
+            s.run_left = r;
+        }
+        let addr = (s.vpn << PAGE_BITS) | (s.line << LINE_BITS);
+        s.line += 1;
+        s.run_left -= 1;
+        self.burst_pos = (self.burst_pos + 1) % k;
+        let is_write = self.rng.gen::<f64>() < self.profile.write_frac;
+        TraceOp { gap, addr, is_write }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::by_name;
+
+    fn collect(name: &str, n: usize) -> Vec<TraceOp> {
+        let mut t = SyntheticTrace::new(by_name(name), 42);
+        (0..n).map(|_| t.next_op()).collect()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = collect("mcf", 1000);
+        let mut t = SyntheticTrace::new(by_name("mcf"), 42);
+        let b: Vec<TraceOp> = (0..1000).map(|_| t.next_op()).collect();
+        assert_eq!(a, b);
+        let mut t2 = SyntheticTrace::new(by_name("mcf"), 43);
+        let c: Vec<TraceOp> = (0..1000).map(|_| t2.next_op()).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn apki_matches_target() {
+        for name in ["mcf", "libquantum", "povray", "gcc"] {
+            let prof = by_name(name);
+            let ops = collect(name, 20_000);
+            let instructions: u64 = ops.iter().map(|o| u64::from(o.gap) + 1).sum();
+            let reads = ops.iter().filter(|o| !o.is_write).count() as f64;
+            let read_mpki = reads * 1000.0 / instructions as f64;
+            let err = (read_mpki - prof.mpki).abs() / prof.mpki;
+            assert!(
+                err < 0.15,
+                "{name}: generated read MPKI {read_mpki:.2} vs target {:.2}",
+                prof.mpki
+            );
+        }
+    }
+
+    #[test]
+    fn run_structure_matches_rbl() {
+        // Average same-page run length ~ 1/(1-rbl).
+        for name in ["libquantum", "mcf"] {
+            let prof = by_name(name);
+            let ops = collect(name, 50_000);
+            // Count per-stream page-run lengths by tracking page changes
+            // per region.
+            let k = prof.blp.round() as usize;
+            let mut runs = 0u64;
+            let mut accesses = 0u64;
+            let mut last_page: Vec<Option<u64>> = vec![None; k];
+            for (i, op) in ops.iter().enumerate() {
+                let stream = i % k;
+                let page = op.addr >> 12;
+                accesses += 1;
+                if last_page[stream] != Some(page) {
+                    runs += 1;
+                    last_page[stream] = Some(page);
+                }
+            }
+            let mean_run = accesses as f64 / runs as f64;
+            let target = (1.0 / (1.0 - prof.rbl)).min(64.0);
+            let err = (mean_run - target).abs() / target;
+            assert!(err < 0.2, "{name}: mean run {mean_run:.2} vs target {target:.2}");
+        }
+    }
+
+    #[test]
+    fn streams_occupy_disjoint_regions() {
+        let prof = by_name("mcf");
+        let k = prof.blp.round() as u64;
+        let region = prof.footprint_pages / k;
+        let ops = collect("mcf", 10_000);
+        for (i, op) in ops.iter().enumerate() {
+            let stream = (i % k as usize) as u64;
+            let vpn = op.addr >> 12;
+            assert!(vpn >= stream * region && vpn < (stream + 1) * region);
+        }
+    }
+
+    #[test]
+    fn write_fraction_approximates_target() {
+        let prof = by_name("lbm");
+        let ops = collect("lbm", 20_000);
+        let wf = ops.iter().filter(|o| o.is_write).count() as f64 / ops.len() as f64;
+        assert!((wf - prof.write_frac).abs() < 0.05);
+    }
+
+    #[test]
+    fn footprint_is_respected() {
+        let prof = by_name("sjeng");
+        let ops = collect("sjeng", 20_000);
+        let max_vpn = ops.iter().map(|o| o.addr >> 12).max().unwrap();
+        assert!(max_vpn < prof.footprint_pages);
+    }
+}

@@ -1,0 +1,26 @@
+//! Synthetic SPEC CPU2006-like workloads.
+//!
+//! The paper evaluates on SPEC CPU2006 multiprogrammed mixes; those traces
+//! are proprietary, so this crate substitutes **parameterised synthetic
+//! generators**. The substitution is sound for this particular paper:
+//! every policy under study (DBP, equal bank partitioning, MCP, TCM)
+//! makes its decisions from exactly three per-thread statistics — memory
+//! intensity (MPKI), row-buffer locality (RBL), and bank-level
+//! parallelism (BLP) — plus the address/bank layout. The generators are
+//! therefore built to hit *calibrated targets* for those three statistics
+//! (see [`profiles`] for the per-benchmark values, taken from the
+//! published characterisations in the TCM/MCP line of work), which
+//! exercises the same policy decision paths as the real traces.
+//!
+//! - [`profiles`] — the benchmark table (`mcf`-like, `libquantum`-like …).
+//! - [`generator`] — the trace generator ([`SyntheticTrace`]).
+//! - [`mixes`] — the paper-style 4-core workload mixes, grouped by the
+//!   fraction of memory-intensive applications.
+
+pub mod generator;
+pub mod mixes;
+pub mod profiles;
+
+pub use generator::SyntheticTrace;
+pub use mixes::{mixes_4core, mixes_8core, scale_mix, Mix};
+pub use profiles::{BenchmarkProfile, IntensityClass};

@@ -1,0 +1,164 @@
+//! The multiprogrammed workload mixes of the evaluation.
+//!
+//! The paper groups its 4-core mixes by the fraction of memory-intensive
+//! applications (0 %, 25 %, 50 %, 75 %, 100 %); bank partitioning matters
+//! most when several intensive applications collide, while the mixed
+//! categories stress the non-intensive grouping rule and TCM's clustering.
+
+use crate::profiles::{by_name, BenchmarkProfile};
+
+/// A named multiprogrammed workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mix {
+    /// Mix identifier, e.g. `"mix50-1"`.
+    pub name: &'static str,
+    /// Percentage of memory-intensive applications (the category).
+    pub intensive_pct: u32,
+    /// Benchmark names, one per core.
+    pub benchmarks: Vec<&'static str>,
+}
+
+impl Mix {
+    /// Resolve the benchmark profiles.
+    pub fn profiles(&self) -> Vec<&'static BenchmarkProfile> {
+        self.benchmarks.iter().map(|n| by_name(n)).collect()
+    }
+
+    /// Number of cores this mix occupies.
+    pub fn cores(&self) -> usize {
+        self.benchmarks.len()
+    }
+}
+
+fn mix(name: &'static str, pct: u32, benchmarks: &[&'static str]) -> Mix {
+    Mix { name, intensive_pct: pct, benchmarks: benchmarks.to_vec() }
+}
+
+/// The 15 four-core mixes used throughout the reproduction.
+pub fn mixes_4core() -> Vec<Mix> {
+    vec![
+        // 0% intensive: partitioning should at least not hurt.
+        mix("mix0-1", 0, &["povray", "gobmk", "hmmer", "namd"]),
+        mix("mix0-2", 0, &["gcc", "sjeng", "calculix", "perlbench"]),
+        // 25% intensive.
+        mix("mix25-1", 25, &["mcf", "povray", "gobmk", "namd"]),
+        mix("mix25-2", 25, &["libquantum", "gcc", "sjeng", "hmmer"]),
+        mix("mix25-3", 25, &["lbm", "astar", "calculix", "perlbench"]),
+        // 50% intensive.
+        mix("mix50-1", 50, &["mcf", "libquantum", "povray", "gobmk"]),
+        mix("mix50-2", 50, &["lbm", "omnetpp", "gcc", "sjeng"]),
+        mix("mix50-3", 50, &["milc", "soplex", "hmmer", "namd"]),
+        mix("mix50-4", 50, &["GemsFDTD", "bwaves", "astar", "calculix"]),
+        // 75% intensive.
+        mix("mix75-1", 75, &["mcf", "lbm", "libquantum", "povray"]),
+        mix("mix75-2", 75, &["milc", "leslie3d", "omnetpp", "gcc"]),
+        mix("mix75-3", 75, &["soplex", "sphinx3", "bwaves", "sjeng"]),
+        // 100% intensive.
+        mix("mix100-1", 100, &["mcf", "lbm", "libquantum", "milc"]),
+        mix("mix100-2", 100, &["soplex", "GemsFDTD", "omnetpp", "bwaves"]),
+        mix("mix100-3", 100, &["mcf", "libquantum", "leslie3d", "sphinx3"]),
+    ]
+}
+
+/// Dedicated 8-core mixes (for the core-count study and larger-CMP
+/// experiments): same category structure as the 4-core set, drawn from
+/// the same benchmark pool without per-mix repetition.
+pub fn mixes_8core() -> Vec<Mix> {
+    vec![
+        mix("mix8-25", 25, &[
+            "mcf", "libquantum", "gcc", "astar", "povray", "gobmk", "namd", "sjeng",
+        ]),
+        mix("mix8-50", 50, &[
+            "mcf", "lbm", "libquantum", "milc", "gcc", "hmmer", "calculix", "perlbench",
+        ]),
+        mix("mix8-75", 75, &[
+            "mcf", "lbm", "libquantum", "milc", "soplex", "GemsFDTD", "povray", "namd",
+        ]),
+        mix("mix8-100", 100, &[
+            "mcf", "lbm", "libquantum", "milc", "soplex", "GemsFDTD", "omnetpp", "bwaves",
+        ]),
+    ]
+}
+
+/// Scale a mix to `cores` cores by repeating its benchmark list.
+///
+/// Used by the core-count sensitivity study (each repetition gets its own
+/// seed downstream, so repeated benchmarks do not share address streams).
+///
+/// # Panics
+///
+/// Panics if `cores` is zero.
+pub fn scale_mix(mix: &Mix, cores: usize) -> Mix {
+    assert!(cores > 0, "cannot scale to zero cores");
+    let benchmarks: Vec<&'static str> = (0..cores)
+        .map(|i| mix.benchmarks[i % mix.benchmarks.len()])
+        .collect();
+    Mix { name: mix.name, intensive_pct: mix.intensive_pct, benchmarks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::IntensityClass;
+
+    #[test]
+    fn all_mixes_resolve_and_are_4core() {
+        for m in mixes_4core() {
+            assert_eq!(m.cores(), 4, "{}", m.name);
+            assert_eq!(m.profiles().len(), 4);
+        }
+    }
+
+    #[test]
+    fn intensive_fraction_matches_category() {
+        for m in mixes_4core() {
+            let intensive = m
+                .profiles()
+                .iter()
+                .filter(|p| p.class() == IntensityClass::High)
+                .count() as u32;
+            assert_eq!(intensive * 25, m.intensive_pct, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = mixes_4core().iter().map(|m| m.name).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn category_coverage() {
+        let mixes = mixes_4core();
+        for pct in [0, 25, 50, 75, 100] {
+            assert!(
+                mixes.iter().any(|m| m.intensive_pct == pct),
+                "no mix in category {pct}%"
+            );
+        }
+    }
+
+    #[test]
+    fn eight_core_mixes_resolve() {
+        for m in mixes_8core() {
+            assert_eq!(m.cores(), 8, "{}", m.name);
+            let intensive = m
+                .profiles()
+                .iter()
+                .filter(|p| p.class() == IntensityClass::High)
+                .count() as u32;
+            assert_eq!(intensive * 100 / 8, m.intensive_pct, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn scaling_repeats_benchmarks() {
+        let m = &mixes_4core()[0];
+        let m8 = scale_mix(m, 8);
+        assert_eq!(m8.cores(), 8);
+        assert_eq!(m8.benchmarks[4], m.benchmarks[0]);
+    }
+}

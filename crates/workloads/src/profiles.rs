@@ -1,0 +1,167 @@
+//! The benchmark table: per-benchmark memory-behaviour targets.
+//!
+//! Values approximate the published SPEC CPU2006 characterisations used
+//! across the memory-scheduling literature (TCM, MCP, and the bank
+//! partitioning papers): `libquantum` is the canonical single-stream
+//! high-locality application, `mcf` the canonical high-MLP random-access
+//! one, `povray`/`gamess` the canonical compute-bound ones, and so on.
+//! What matters for reproducing the paper is the *class structure* —
+//! intensity tiers and the RBL/BLP spread within the intensive tier — not
+//! the third significant digit.
+
+/// Memory-intensity tier (the mix taxonomy of the evaluation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntensityClass {
+    /// MPKI >= 10: dominated by DRAM behaviour.
+    High,
+    /// 1 <= MPKI < 10: sensitive but not dominated.
+    Medium,
+    /// MPKI < 1: essentially compute-bound.
+    Low,
+}
+
+/// Target memory behaviour of one synthetic benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchmarkProfile {
+    /// Benchmark name (SPEC-like, suffix-free).
+    pub name: &'static str,
+    /// Target demand-read misses per kilo-instruction.
+    pub mpki: f64,
+    /// Target row-buffer locality in [0, 1).
+    pub rbl: f64,
+    /// Target bank-level parallelism (concurrent access streams).
+    pub blp: f64,
+    /// Working-set size in 4 KiB pages.
+    pub footprint_pages: u64,
+    /// Fraction of accesses that are stores.
+    pub write_frac: f64,
+}
+
+impl BenchmarkProfile {
+    /// The intensity tier this profile falls into.
+    pub fn class(&self) -> IntensityClass {
+        if self.mpki >= 10.0 {
+            IntensityClass::High
+        } else if self.mpki >= 1.0 {
+            IntensityClass::Medium
+        } else {
+            IntensityClass::Low
+        }
+    }
+}
+
+const fn p(
+    name: &'static str,
+    mpki: f64,
+    rbl: f64,
+    blp: f64,
+    footprint_pages: u64,
+    write_frac: f64,
+) -> BenchmarkProfile {
+    BenchmarkProfile { name, mpki, rbl, blp, footprint_pages, write_frac }
+}
+
+/// The full benchmark table.
+pub const PROFILES: &[BenchmarkProfile] = &[
+    // High intensity (MPKI >= 10).
+    p("mcf", 35.0, 0.25, 5.5, 8192, 0.15),
+    p("lbm", 30.0, 0.85, 4.0, 8192, 0.40),
+    p("libquantum", 25.0, 0.97, 1.2, 8192, 0.25),
+    p("soplex", 21.0, 0.60, 3.2, 6144, 0.20),
+    p("bwaves", 19.0, 0.88, 2.8, 8192, 0.25),
+    p("milc", 18.0, 0.65, 3.0, 6144, 0.30),
+    p("GemsFDTD", 16.0, 0.55, 4.2, 8192, 0.30),
+    p("leslie3d", 15.0, 0.75, 3.5, 6144, 0.30),
+    p("omnetpp", 12.0, 0.30, 2.6, 4096, 0.20),
+    p("sphinx3", 11.0, 0.72, 2.2, 4096, 0.10),
+    // Medium intensity (1 <= MPKI < 10).
+    p("wrf", 7.0, 0.68, 2.3, 4096, 0.25),
+    p("zeusmp", 6.0, 0.60, 2.8, 4096, 0.30),
+    p("cactusADM", 5.5, 0.45, 2.4, 4096, 0.30),
+    p("astar", 4.5, 0.35, 1.8, 2048, 0.15),
+    p("gcc", 3.2, 0.50, 2.0, 2048, 0.25),
+    p("bzip2", 2.8, 0.52, 1.6, 2048, 0.20),
+    p("hmmer", 1.6, 0.42, 1.4, 1024, 0.20),
+    p("h264ref", 1.3, 0.78, 1.2, 1024, 0.15),
+    // Low intensity (MPKI < 1).
+    p("perlbench", 0.8, 0.55, 1.3, 1024, 0.20),
+    p("tonto", 0.6, 0.60, 1.2, 1024, 0.20),
+    p("gobmk", 0.55, 0.45, 1.2, 512, 0.15),
+    p("sjeng", 0.4, 0.40, 1.1, 512, 0.10),
+    p("calculix", 0.35, 0.65, 1.1, 512, 0.15),
+    p("namd", 0.2, 0.60, 1.0, 512, 0.10),
+    p("povray", 0.08, 0.70, 1.0, 256, 0.10),
+    p("gamess", 0.05, 0.70, 1.0, 256, 0.10),
+];
+
+/// Look up a profile by name.
+///
+/// # Panics
+///
+/// Panics if `name` is not in [`PROFILES`] — benchmark names in mixes are
+/// static and a typo is a programming error.
+pub fn by_name(name: &str) -> &'static BenchmarkProfile {
+    PROFILES
+        .iter()
+        .find(|b| b.name == name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name:?}"))
+}
+
+/// All profiles in `class`.
+pub fn by_class(class: IntensityClass) -> Vec<&'static BenchmarkProfile> {
+    PROFILES.iter().filter(|b| b.class() == class).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = PROFILES.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn classes_are_populated() {
+        assert!(by_class(IntensityClass::High).len() >= 8);
+        assert!(by_class(IntensityClass::Medium).len() >= 6);
+        assert!(by_class(IntensityClass::Low).len() >= 6);
+    }
+
+    #[test]
+    fn values_are_sane() {
+        for b in PROFILES {
+            assert!(b.mpki > 0.0, "{}", b.name);
+            assert!((0.0..1.0).contains(&b.rbl), "{}", b.name);
+            assert!(b.blp >= 1.0, "{}", b.name);
+            assert!(b.footprint_pages > 0, "{}", b.name);
+            assert!((0.0..0.9).contains(&b.write_frac), "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("mcf").class(), IntensityClass::High);
+        assert_eq!(by_name("povray").class(), IntensityClass::Low);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_name_panics() {
+        by_name("doom-eternal");
+    }
+
+    #[test]
+    fn canonical_shapes() {
+        // libquantum: streaming — near-unit BLP, extreme RBL.
+        let lq = by_name("libquantum");
+        assert!(lq.rbl > 0.9 && lq.blp < 2.0);
+        // mcf: random — low RBL, high BLP.
+        let mcf = by_name("mcf");
+        assert!(mcf.rbl < 0.4 && mcf.blp > 4.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! The paper's motivating scenario: a streaming application and a
+//! random-access application destroy each other's DRAM behaviour when
+//! sharing banks — and bank partitioning restores it.
+//!
+//! Run with: `cargo run --release --example interference_demo`
+
+use dbp_repro::dbp::policy::PolicyKind;
+use dbp_repro::sim::{runner, SimConfig};
+use dbp_repro::workloads::Mix;
+
+fn main() {
+    let mut cfg = SimConfig::default();
+    cfg.warmup_instructions = 200_000;
+    cfg.target_instructions = 400_000;
+    cfg.epoch_cpu_cycles = 400_000;
+
+    // libquantum-like: one sequential stream, ~97% row-buffer locality.
+    // mcf-like: pointer-chasing, high bank-level parallelism.
+    let mix = Mix {
+        name: "demo",
+        intensive_pct: 100,
+        benchmarks: vec!["libquantum", "mcf"],
+    };
+
+    println!("libquantum (streaming) + mcf (random) on shared DRAM banks\n");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "policy", "lq IPC", "mcf IPC", "WS", "lq RBL", "rowhit"
+    );
+    for (label, policy) in [
+        ("shared", PolicyKind::Unpartitioned),
+        ("equal-BP", PolicyKind::Equal),
+        ("DBP", PolicyKind::Dbp(Default::default())),
+    ] {
+        let mut c = cfg.clone();
+        c.policy = policy;
+        let run = runner::run_mix(&c, &mix);
+        println!(
+            "{:<14} {:>10.3} {:>10.3} {:>10.3} {:>8.2} {:>7.1}%",
+            label,
+            run.shared.threads[0].ipc,
+            run.shared.threads[1].ipc,
+            run.metrics.weighted_speedup,
+            run.shared.threads[0].rbl,
+            run.shared.row_hit_rate * 100.0,
+        );
+    }
+    println!(
+        "\nUnder sharing, mcf's random accesses keep closing libquantum's \
+         open rows (watch lq's RBL collapse); partitioning the banks gives \
+         each application its own row buffers back."
+    );
+}

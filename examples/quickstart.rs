@@ -1,0 +1,47 @@
+//! Quickstart: simulate one multiprogrammed mix under Dynamic Bank
+//! Partitioning and print the headline metrics.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dbp_repro::dbp::policy::PolicyKind;
+use dbp_repro::sim::{runner, SchedulerKind, SimConfig};
+use dbp_repro::workloads::mixes_4core;
+
+fn main() {
+    // The Table 1 system: 4 cores, DDR3-1333, 2 channels x 8 banks.
+    let mut cfg = SimConfig::default();
+    cfg.scheduler = SchedulerKind::FrFcfs;
+    cfg.policy = PolicyKind::Dbp(Default::default());
+    // Keep the example snappy.
+    cfg.warmup_instructions = 200_000;
+    cfg.target_instructions = 400_000;
+    cfg.epoch_cpu_cycles = 400_000;
+
+    // mix50-1: two memory-intensive applications (mcf-like, libquantum-
+    // like) plus two compute-bound ones.
+    let mix = &mixes_4core()[5];
+    println!("simulating {} = {:?} under DBP ...", mix.name, mix.benchmarks);
+
+    let run = runner::run_mix(&cfg, mix);
+
+    println!("\nper-thread results:");
+    for (i, name) in mix.benchmarks.iter().enumerate() {
+        let t = &run.shared.threads[i];
+        println!(
+            "  {name:>12}: IPC {:.3} (alone {:.3}, slowdown {:.2}x)  MPKI {:.1}  RBL {:.2}  BLP {:.2}",
+            t.ipc,
+            run.alone_ipcs[i],
+            1.0 / run.metrics.speedups[i],
+            t.mpki,
+            t.rbl,
+            t.blp,
+        );
+    }
+    println!("\nsystem metrics:");
+    println!("  weighted speedup  {:.3}  (throughput; max = {})", run.metrics.weighted_speedup, mix.cores());
+    println!("  harmonic speedup  {:.3}", run.metrics.harmonic_speedup);
+    println!("  maximum slowdown  {:.3}  (unfairness; 1.0 is perfectly fair)", run.metrics.max_slowdown);
+    println!("  row-buffer hits   {:.1}%", run.shared.row_hit_rate * 100.0);
+    println!("  repartitions      {}", run.shared.repartitions);
+    println!("  pages migrated    {}", run.shared.migrated_pages);
+}

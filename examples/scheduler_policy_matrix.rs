@@ -1,0 +1,58 @@
+//! Scheduling and partitioning are orthogonal: sweep the full
+//! (scheduler x partitioning policy) matrix on one heavy mix.
+//!
+//! This is the paper's second contribution in miniature — the best cell
+//! combines TCM scheduling with DBP partitioning.
+//!
+//! Run with: `cargo run --release --example scheduler_policy_matrix`
+
+use dbp_repro::dbp::policy::PolicyKind;
+use dbp_repro::sim::{runner, SchedulerKind, SimConfig};
+use dbp_repro::workloads::mixes_4core;
+
+fn main() {
+    let mut cfg = SimConfig::default();
+    cfg.warmup_instructions = 200_000;
+    cfg.target_instructions = 400_000;
+    cfg.epoch_cpu_cycles = 400_000;
+
+    let mix = &mixes_4core()[12]; // mix100-1: four intensive applications
+    println!("mix {} = {:?}\n", mix.name, mix.benchmarks);
+    println!("weighted speedup / maximum slowdown:\n");
+
+    let schedulers = [
+        ("FCFS", SchedulerKind::Fcfs),
+        ("FR-FCFS", SchedulerKind::FrFcfs),
+        ("PAR-BS", SchedulerKind::ParBs(Default::default())),
+        ("TCM", SchedulerKind::Tcm(Default::default())),
+    ];
+    let policies = [
+        ("shared", PolicyKind::Unpartitioned),
+        ("equal-BP", PolicyKind::Equal),
+        ("DBP", PolicyKind::Dbp(Default::default())),
+    ];
+
+    // Alone runs do not depend on the cell under test: measure once.
+    let alone = runner::alone_ipcs(&cfg, mix);
+
+    print!("{:<10}", "");
+    for (pl, _) in &policies {
+        print!("{pl:>16}");
+    }
+    println!();
+    for (sl, sched) in &schedulers {
+        print!("{sl:<10}");
+        for (_, policy) in &policies {
+            let mut c = cfg.clone();
+            c.scheduler = *sched;
+            c.policy = *policy;
+            let run = runner::run_mix_with_alone(&c, mix, alone.clone());
+            print!(
+                "{:>16}",
+                format!("{:.3}/{:.3}", run.metrics.weighted_speedup, run.metrics.max_slowdown)
+            );
+        }
+        println!();
+    }
+    println!("\n(higher WS is better; lower MS is fairer)");
+}

@@ -1,0 +1,302 @@
+//! `dbpsim` — command-line front-end for the DBP simulator.
+//!
+//! ```console
+//! $ dbpsim list                                 # available mixes & benchmarks
+//! $ dbpsim run --mix mix50-1 --policy dbp       # one measurement
+//! $ dbpsim run --mix mix100-1 --policy dbp --scheduler tcm --csv
+//! $ dbpsim run --bench mcf,libquantum --policy equal --instructions 500000
+//! $ dbpsim compare --mix mix75-1                # all policies side by side
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace is dependency-minimal);
+//! see `dbpsim help` for the full grammar.
+
+use std::process::ExitCode;
+
+use dbp_repro::dbp::policy::PolicyKind;
+use dbp_repro::sim::report::{f3, Table};
+use dbp_repro::sim::{runner, SchedulerKind, SimConfig};
+use dbp_repro::workloads::{mixes_4core, profiles, Mix};
+
+const HELP: &str = "\
+dbpsim — Dynamic Bank Partitioning simulator (HPCA 2014 reproduction)
+
+USAGE:
+    dbpsim <COMMAND> [OPTIONS]
+
+COMMANDS:
+    list                     List available mixes and benchmarks
+    run                      Measure one mix under one configuration
+    compare                  Measure one mix under every policy
+    help                     Show this message
+
+OPTIONS (run / compare):
+    --mix <name>             A predefined mix (see `dbpsim list`)
+    --bench <a,b,...>        Ad-hoc mix from benchmark names (alternative to --mix)
+    --policy <p>             shared | equal | dbp | mcp        [default: dbp]
+    --scheduler <s>          fcfs | frfcfs | frfcfs-cap | parbs | atlas |
+                             bliss | tcm                       [default: frfcfs]
+    --instructions <n>       Measured instructions per thread  [default: 1000000]
+    --warmup <n>             Warmup instructions per thread    [default: 500000]
+    --channels <n>           DRAM channels (power of two)      [default: 2]
+    --banks <n>              Banks per rank (power of two)     [default: 8]
+    --csv                    Emit CSV instead of an aligned table
+";
+
+fn parse_policy(s: &str) -> Result<PolicyKind, String> {
+    match s {
+        "shared" | "none" => Ok(PolicyKind::Unpartitioned),
+        "equal" => Ok(PolicyKind::Equal),
+        "dbp" => Ok(PolicyKind::Dbp(Default::default())),
+        "mcp" => Ok(PolicyKind::Mcp(Default::default())),
+        other => Err(format!("unknown policy {other:?} (shared|equal|dbp|mcp)")),
+    }
+}
+
+fn parse_scheduler(s: &str) -> Result<SchedulerKind, String> {
+    match s {
+        "fcfs" => Ok(SchedulerKind::Fcfs),
+        "frfcfs" => Ok(SchedulerKind::FrFcfs),
+        "frfcfs-cap" => Ok(SchedulerKind::FrFcfsCap(Default::default())),
+        "parbs" => Ok(SchedulerKind::ParBs(Default::default())),
+        "atlas" => Ok(SchedulerKind::Atlas(Default::default())),
+        "bliss" => Ok(SchedulerKind::Bliss(Default::default())),
+        "tcm" => Ok(SchedulerKind::Tcm(Default::default())),
+        other => Err(format!(
+            "unknown scheduler {other:?} (fcfs|frfcfs|frfcfs-cap|parbs|atlas|bliss|tcm)"
+        )),
+    }
+}
+
+#[derive(Debug)]
+struct Options {
+    mix: Option<String>,
+    bench: Option<String>,
+    policy: PolicyKind,
+    scheduler: SchedulerKind,
+    instructions: u64,
+    warmup: u64,
+    channels: u32,
+    banks: u32,
+    csv: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            mix: None,
+            bench: None,
+            policy: PolicyKind::Dbp(Default::default()),
+            scheduler: SchedulerKind::FrFcfs,
+            instructions: 1_000_000,
+            warmup: 500_000,
+            channels: 2,
+            banks: 8,
+            csv: false,
+        }
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--mix" => opts.mix = Some(value("--mix")?),
+            "--bench" => opts.bench = Some(value("--bench")?),
+            "--policy" => opts.policy = parse_policy(&value("--policy")?)?,
+            "--scheduler" => opts.scheduler = parse_scheduler(&value("--scheduler")?)?,
+            "--instructions" => {
+                opts.instructions = value("--instructions")?
+                    .parse()
+                    .map_err(|e| format!("--instructions: {e}"))?;
+            }
+            "--warmup" => {
+                opts.warmup = value("--warmup")?
+                    .parse()
+                    .map_err(|e| format!("--warmup: {e}"))?;
+            }
+            "--channels" => {
+                opts.channels = value("--channels")?
+                    .parse()
+                    .map_err(|e| format!("--channels: {e}"))?;
+            }
+            "--banks" => {
+                opts.banks = value("--banks")?
+                    .parse()
+                    .map_err(|e| format!("--banks: {e}"))?;
+            }
+            "--csv" => opts.csv = true,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn resolve_mix(opts: &Options) -> Result<Mix, String> {
+    match (&opts.mix, &opts.bench) {
+        (Some(name), None) => mixes_4core()
+            .into_iter()
+            .find(|m| m.name == name.as_str())
+            .ok_or_else(|| format!("unknown mix {name:?}; see `dbpsim list`")),
+        (None, Some(list)) => {
+            let benchmarks: Vec<&'static str> = list
+                .split(',')
+                .map(|n| {
+                    profiles::PROFILES
+                        .iter()
+                        .find(|p| p.name == n.trim())
+                        .map(|p| p.name)
+                        .ok_or_else(|| format!("unknown benchmark {n:?}; see `dbpsim list`"))
+                })
+                .collect::<Result<_, _>>()?;
+            if benchmarks.is_empty() {
+                return Err("--bench needs at least one benchmark".into());
+            }
+            Ok(Mix { name: "custom", intensive_pct: 0, benchmarks })
+        }
+        (Some(_), Some(_)) => Err("--mix and --bench are mutually exclusive".into()),
+        (None, None) => Err("one of --mix or --bench is required".into()),
+    }
+}
+
+fn config_for(opts: &Options) -> Result<SimConfig, String> {
+    let mut cfg = SimConfig::default();
+    cfg.policy = opts.policy;
+    cfg.scheduler = opts.scheduler;
+    cfg.target_instructions = opts.instructions;
+    cfg.warmup_instructions = opts.warmup;
+    cfg.dram.channels = opts.channels;
+    cfg.dram.banks_per_rank = opts.banks;
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+fn result_table(mix: &Mix, run: &runner::MixRun) -> Table {
+    let mut t = Table::new(["thread", "benchmark", "IPC", "alone", "slowdown", "MPKI", "RBL", "BLP"]);
+    for (i, name) in mix.benchmarks.iter().enumerate() {
+        let th = &run.shared.threads[i];
+        t.row([
+            i.to_string(),
+            (*name).to_owned(),
+            f3(th.ipc),
+            f3(run.alone_ipcs[i]),
+            f3(1.0 / run.metrics.speedups[i]),
+            format!("{:.1}", th.mpki),
+            format!("{:.2}", th.rbl),
+            format!("{:.2}", th.blp),
+        ]);
+    }
+    t
+}
+
+fn cmd_list() {
+    println!("mixes:");
+    for m in mixes_4core() {
+        println!("  {:<10} ({:>3}% intensive)  {}", m.name, m.intensive_pct, m.benchmarks.join(", "));
+    }
+    println!("\nbenchmarks:");
+    for p in profiles::PROFILES {
+        println!(
+            "  {:<12} {:?}  MPKI {:>5.1}  RBL {:.2}  BLP {:.1}",
+            p.name,
+            p.class(),
+            p.mpki,
+            p.rbl,
+            p.blp
+        );
+    }
+}
+
+fn cmd_run(opts: &Options) -> Result<(), String> {
+    let mix = resolve_mix(opts)?;
+    let cfg = config_for(opts)?;
+    eprintln!(
+        "running {} [{}] under {} / {} ...",
+        mix.name,
+        mix.benchmarks.join(", "),
+        cfg.scheduler.label(),
+        cfg.policy.label(),
+    );
+    let run = runner::run_mix(&cfg, &mix);
+    let t = result_table(&mix, &run);
+    if opts.csv {
+        print!("{}", t.to_csv());
+    } else {
+        println!("{t}");
+    }
+    println!(
+        "weighted speedup {:.3} | harmonic speedup {:.3} | maximum slowdown {:.3} | row hits {:.1}%",
+        run.metrics.weighted_speedup,
+        run.metrics.harmonic_speedup,
+        run.metrics.max_slowdown,
+        run.shared.row_hit_rate * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_compare(opts: &Options) -> Result<(), String> {
+    let mix = resolve_mix(opts)?;
+    let cfg = config_for(opts)?;
+    let alone = runner::alone_ipcs(&cfg, &mix);
+    let mut t = Table::new(["policy", "WS", "HS", "MS", "rowhit"]);
+    for policy in [
+        PolicyKind::Unpartitioned,
+        PolicyKind::Equal,
+        PolicyKind::Dbp(Default::default()),
+        PolicyKind::Mcp(Default::default()),
+    ] {
+        let mut c = cfg.clone();
+        c.policy = policy;
+        let run = runner::run_mix_with_alone(&c, &mix, alone.clone());
+        t.row([
+            policy.label().to_owned(),
+            f3(run.metrics.weighted_speedup),
+            f3(run.metrics.harmonic_speedup),
+            f3(run.metrics.max_slowdown),
+            format!("{:.1}%", run.shared.row_hit_rate * 100.0),
+        ]);
+    }
+    if opts.csv {
+        print!("{}", t.to_csv());
+    } else {
+        println!("{t}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => {
+            eprintln!("{HELP}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match cmd {
+        "help" | "--help" | "-h" => {
+            println!("{HELP}");
+            Ok(())
+        }
+        "list" => {
+            cmd_list();
+            Ok(())
+        }
+        "run" => parse_options(rest).and_then(|o| cmd_run(&o)),
+        "compare" => parse_options(rest).and_then(|o| cmd_compare(&o)),
+        other => Err(format!("unknown command {other:?}; try `dbpsim help`")),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

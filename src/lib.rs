@@ -1,0 +1,16 @@
+//! Umbrella crate for the Dynamic Bank Partitioning (HPCA 2014) reproduction.
+//!
+//! Re-exports every workspace crate under one roof so the examples and
+//! integration tests in the repository root can use a single dependency.
+//!
+//! See the crate-level docs of [`dbp_sim`] for the top-level simulator API,
+//! and [`dbp_core`] for the paper's contribution (the DBP policy family).
+
+pub use dbp_cache as cache;
+pub use dbp_core as dbp;
+pub use dbp_cpu as cpu;
+pub use dbp_dram as dram;
+pub use dbp_memctrl as memctrl;
+pub use dbp_osmem as osmem;
+pub use dbp_sim as sim;
+pub use dbp_workloads as workloads;

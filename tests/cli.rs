@@ -1,0 +1,75 @@
+//! End-to-end tests of the `dbpsim` command-line interface.
+
+use std::process::Command;
+
+fn dbpsim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dbpsim"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = dbpsim().arg("help").output().expect("spawn dbpsim");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("--policy"));
+}
+
+#[test]
+fn list_names_mixes_and_benchmarks() {
+    let out = dbpsim().arg("list").output().expect("spawn dbpsim");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("mix100-1"));
+    assert!(text.contains("libquantum"));
+}
+
+#[test]
+fn run_ad_hoc_mix_reports_metrics() {
+    let out = dbpsim()
+        .args([
+            "run",
+            "--bench",
+            "povray,gobmk",
+            "--instructions",
+            "30000",
+            "--warmup",
+            "10000",
+            "--policy",
+            "equal",
+        ])
+        .output()
+        .expect("spawn dbpsim");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("weighted speedup"));
+    assert!(text.contains("povray"));
+}
+
+#[test]
+fn csv_mode_emits_csv() {
+    let out = dbpsim()
+        .args([
+            "run", "--bench", "povray", "--instructions", "20000", "--warmup", "5000", "--csv",
+        ])
+        .output()
+        .expect("spawn dbpsim");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("thread,benchmark,IPC"));
+}
+
+#[test]
+fn unknown_options_fail_cleanly() {
+    for args in [
+        vec!["run"],                            // missing mix
+        vec!["run", "--mix", "nope"],           // unknown mix
+        vec!["run", "--bench", "quake3"],       // unknown benchmark
+        vec!["run", "--policy", "best"],        // unknown policy
+        vec!["frobnicate"],                     // unknown command
+    ] {
+        let out = dbpsim().args(&args).output().expect("spawn dbpsim");
+        assert!(!out.status.success(), "{args:?} should fail");
+        assert!(!out.stderr.is_empty());
+    }
+}

@@ -1,0 +1,45 @@
+//! Bit-exact reproducibility across the whole stack.
+//!
+//! Everything in the simulator is seeded and ordered: two identical runs
+//! must produce identical statistics, or experiments are not comparable.
+
+use dbp_repro::dbp::policy::PolicyKind;
+use dbp_repro::sim::{runner, RunResult, SchedulerKind, SimConfig};
+use dbp_repro::workloads::mixes_4core;
+
+fn run_once(policy: PolicyKind, sched: SchedulerKind) -> RunResult {
+    let mut cfg = SimConfig::fast_test();
+    cfg.warmup_instructions = 20_000;
+    cfg.target_instructions = 50_000;
+    cfg.policy = policy;
+    cfg.scheduler = sched;
+    runner::run_shared(&cfg, &mixes_4core()[5])
+}
+
+#[test]
+fn identical_runs_are_bit_exact_shared() {
+    let a = run_once(PolicyKind::Unpartitioned, SchedulerKind::FrFcfs);
+    let b = run_once(PolicyKind::Unpartitioned, SchedulerKind::FrFcfs);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn identical_runs_are_bit_exact_dbp() {
+    let a = run_once(PolicyKind::Dbp(Default::default()), SchedulerKind::FrFcfs);
+    let b = run_once(PolicyKind::Dbp(Default::default()), SchedulerKind::FrFcfs);
+    assert_eq!(a, b, "DBP runs (including migrations) must be deterministic");
+}
+
+#[test]
+fn identical_runs_are_bit_exact_tcm_mcp() {
+    let a = run_once(PolicyKind::Mcp(Default::default()), SchedulerKind::Tcm(Default::default()));
+    let b = run_once(PolicyKind::Mcp(Default::default()), SchedulerKind::Tcm(Default::default()));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_policies_actually_differ() {
+    let a = run_once(PolicyKind::Unpartitioned, SchedulerKind::FrFcfs);
+    let b = run_once(PolicyKind::Equal, SchedulerKind::FrFcfs);
+    assert_ne!(a, b, "policies must change observable behaviour");
+}

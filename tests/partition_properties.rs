@@ -1,0 +1,130 @@
+//! Property-based tests on the partitioning policies through the public
+//! API: for *any* profile vector, the plans must be well-formed.
+
+use dbp_repro::dbp::policy::{
+    ChannelPartitioning, Dbp, EqualBankPartitioning, PartitionPolicy, Unpartitioned,
+};
+use dbp_repro::dbp::{ColorTopology, ThreadMemProfile};
+use dbp_repro::osmem::ColorSet;
+use proptest::prelude::*;
+
+fn arb_profile() -> impl Strategy<Value = ThreadMemProfile> {
+    (0.0f64..60.0, 0.0f64..1.0, 1.0f64..8.0, 1u64..200_000, 0u64..800_000).prop_map(
+        |(mpki, rbl, blp, reads, bus)| ThreadMemProfile {
+            mpki,
+            rbl,
+            blp,
+            reads,
+            bus_cycles: bus,
+        },
+    )
+}
+
+fn arb_topology() -> impl Strategy<Value = ColorTopology> {
+    (0u32..2, 0u32..2, 1u32..5)
+        .prop_map(|(ch, ra, ba)| ColorTopology::new(1 << ch, 1 << ra, 1 << ba))
+}
+
+fn check_plan_wellformed(plan: &[ColorSet], topo: &ColorTopology, n: usize) {
+    assert_eq!(plan.len(), n);
+    for s in plan {
+        assert!(!s.is_empty(), "every thread needs at least one color");
+        for c in s.iter() {
+            assert!(c < topo.num_colors(), "color {c} out of range");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dbp_plans_are_wellformed(
+        profiles in prop::collection::vec(arb_profile(), 1..6),
+        topo in arb_topology(),
+    ) {
+        let mut dbp = Dbp::new(Default::default());
+        let n = profiles.len();
+        let plan = dbp.partition(&profiles, &topo, None);
+        check_plan_wellformed(&plan, &topo, n);
+        // Repartitioning with the same profiles must be stable.
+        let again = dbp.partition(&profiles, &topo, Some(&plan));
+        prop_assert_eq!(&plan, &again);
+    }
+
+    #[test]
+    fn dbp_intensive_threads_get_disjoint_colors(
+        profiles in prop::collection::vec(arb_profile(), 2..6),
+        topo in arb_topology(),
+    ) {
+        let mut dbp = Dbp::new(Default::default());
+        let plan = dbp.partition(&profiles, &topo, None);
+        let intensive: Vec<usize> = (0..profiles.len())
+            .filter(|&t| profiles[t].mpki >= 1.25)
+            .collect();
+        // When every intensive thread can have its own unit, their color
+        // sets are pairwise disjoint.
+        if !intensive.is_empty()
+            && (intensive.len() as u32) < topo.units()
+            && intensive.len() < profiles.len()
+        {
+            for (a, &i) in intensive.iter().enumerate() {
+                for &j in &intensive[a + 1..] {
+                    prop_assert!(
+                        plan[i].is_disjoint(&plan[j]),
+                        "threads {i} and {j} share colors: {} vs {}",
+                        plan[i],
+                        plan[j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn equal_plans_partition_everything(
+        n in 1usize..9,
+        topo in arb_topology(),
+    ) {
+        let mut eq = EqualBankPartitioning;
+        let profiles = vec![ThreadMemProfile::default(); n];
+        let plan = eq.partition(&profiles, &topo, None);
+        check_plan_wellformed(&plan, &topo, n);
+        let union = plan.iter().fold(ColorSet::empty(), |a, s| a.union(s));
+        prop_assert_eq!(union, topo.all_colors());
+    }
+
+    #[test]
+    fn mcp_plans_are_wellformed(
+        profiles in prop::collection::vec(arb_profile(), 1..6),
+        topo in arb_topology(),
+    ) {
+        let mut mcp = ChannelPartitioning::new(Default::default());
+        let n = profiles.len();
+        let plan = mcp.partition(&profiles, &topo, None);
+        check_plan_wellformed(&plan, &topo, n);
+        // MCP allocates whole channels: each thread's set is a union of
+        // complete channels.
+        for s in &plan {
+            for ch in 0..topo.channels() {
+                let overlap = topo.channel_colors(ch).intersection(s).len();
+                prop_assert!(
+                    overlap == 0 || overlap == topo.channel_colors(ch).len(),
+                    "partial channel in MCP plan"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unpartitioned_always_grants_everything(
+        profiles in prop::collection::vec(arb_profile(), 1..6),
+        topo in arb_topology(),
+    ) {
+        let mut u = Unpartitioned;
+        let plan = u.partition(&profiles, &topo, None);
+        for s in &plan {
+            prop_assert_eq!(*s, topo.all_colors());
+        }
+    }
+}
