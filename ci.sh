@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Tier-1 gate: the workspace must build and test hermetically.
+#
+# --offline  proves no network / registry access is needed (the build is
+#            path-dependencies only; see DESIGN.md "Hermetic builds").
+# --locked   proves Cargo.lock is in sync with the manifests.
+#
+# DBP_BENCH_ITERS keeps the bench compile-and-smoke cheap in CI.
+set -eux
+
+cargo build --release --offline --locked --workspace
+cargo test -q --offline --locked --workspace
+cargo check --benches --offline --locked --workspace
+DBP_BENCH_ITERS=2 DBP_BENCH_WARMUP=0 cargo bench -q --offline --locked -p dbp-bench --bench micro

@@ -1,7 +1,8 @@
-//! Criterion microbenchmarks: the per-component costs that determine the
+//! Microbenchmarks: the per-component costs that determine the
 //! simulator's cycles-per-second throughput.
-
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+//!
+//! Runs on the in-tree `dbp_util::bench` runner (no external harness);
+//! iteration counts are tunable via `DBP_BENCH_ITERS` / `DBP_BENCH_WARMUP`.
 
 use dbp_cache::{Hierarchy, HierarchyConfig};
 use dbp_dram::{Command, Dram, DramConfig};
@@ -9,32 +10,29 @@ use dbp_memctrl::scheduler::{FrFcfs, Tcm};
 use dbp_memctrl::{CtrlConfig, MemRequest, MemoryController};
 use dbp_osmem::{ColorSet, FrameAllocator};
 use dbp_sim::{SimConfig, System};
+use dbp_util::bench::Runner;
 use dbp_workloads::{profiles, SyntheticTrace};
 
-fn bench_dram_commands(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dram");
-    g.throughput(Throughput::Elements(3)); // ACT + RD + PRE
-    g.bench_function("act_rd_pre_cycle", |b| {
-        let cfg = DramConfig::fast_test();
-        b.iter_batched(
-            || Dram::new(cfg.clone()),
-            |mut d| {
-                let mut now = 0;
-                let act = Command::activate(0, 0, 0, 1);
-                now = d.earliest_issue(&act, now).unwrap();
-                d.issue(&act, now);
-                let rd = Command::read(0, 0, 0, 1, 0, false);
-                now = d.earliest_issue(&rd, now).unwrap();
-                d.issue(&rd, now);
-                let pre = Command::precharge(0, 0, 0);
-                now = d.earliest_issue(&pre, now).unwrap();
-                d.issue(&pre, now);
-                d
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    g.finish();
+fn bench_dram_commands(r: &mut Runner) {
+    let cfg = DramConfig::fast_test();
+    r.bench_batched(
+        "dram/act_rd_pre_cycle",
+        3, // ACT + RD + PRE
+        || Dram::new(cfg.clone()),
+        |mut d| {
+            let mut now = 0;
+            let act = Command::activate(0, 0, 0, 1);
+            now = d.earliest_issue(&act, now).unwrap();
+            d.issue(&act, now);
+            let rd = Command::read(0, 0, 0, 1, 0, false);
+            now = d.earliest_issue(&rd, now).unwrap();
+            d.issue(&rd, now);
+            let pre = Command::precharge(0, 0, 0);
+            now = d.earliest_issue(&pre, now).unwrap();
+            d.issue(&pre, now);
+            d
+        },
+    );
 }
 
 fn filled_controller(sched: Box<dyn dbp_memctrl::Scheduler>) -> MemoryController {
@@ -50,135 +48,112 @@ fn filled_controller(sched: Box<dyn dbp_memctrl::Scheduler>) -> MemoryController
     mc
 }
 
-fn bench_controller_tick(c: &mut Criterion) {
-    let mut g = c.benchmark_group("controller_tick");
-    g.throughput(Throughput::Elements(64));
-    g.bench_function("frfcfs_32deep", |b| {
-        b.iter_batched(
-            || filled_controller(Box::new(FrFcfs)),
-            |mut mc| {
-                let mut done = Vec::new();
-                for now in 0..64 {
-                    mc.tick(now, &mut done);
-                }
-                mc
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    g.bench_function("tcm_32deep", |b| {
-        b.iter_batched(
-            || filled_controller(Box::new(Tcm::new(Default::default(), 4))),
-            |mut mc| {
-                let mut done = Vec::new();
-                for now in 0..64 {
-                    mc.tick(now, &mut done);
-                }
-                mc
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    g.finish();
-}
-
-fn bench_allocator(c: &mut Criterion) {
-    let mut g = c.benchmark_group("frame_allocator");
-    let cfg = DramConfig { rows_per_bank: 256, ..DramConfig::default() };
-    g.throughput(Throughput::Elements(1024));
-    g.bench_function("alloc_free_1k", |b| {
-        b.iter_batched(
-            || FrameAllocator::new(&cfg),
-            |mut a| {
-                let allowed = ColorSet::range(0, 8);
-                let mut frames = Vec::with_capacity(1024);
-                for _ in 0..1024 {
-                    frames.push(a.alloc(&allowed).unwrap());
-                }
-                for f in frames {
-                    a.free(f);
-                }
-                a
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    g.finish();
-}
-
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
-    g.throughput(Throughput::Elements(4096));
-    g.bench_function("hierarchy_stream_4k", |b| {
-        b.iter_batched(
-            || Hierarchy::new(HierarchyConfig::default()),
-            |mut h| {
-                for i in 0..4096u64 {
-                    h.access(i * 64, i % 5 == 0);
-                }
-                h
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    g.finish();
-}
-
-fn bench_trace_generation(c: &mut Criterion) {
-    use dbp_cpu::TraceSource;
-    let mut g = c.benchmark_group("workloads");
-    g.throughput(Throughput::Elements(4096));
-    g.bench_function("synthetic_mcf_4k_ops", |b| {
-        let mut t = SyntheticTrace::new(profiles::by_name("mcf"), 1);
-        b.iter(|| {
-            let mut acc = 0u64;
-            for _ in 0..4096 {
-                acc ^= t.next_op().addr;
+fn bench_controller_tick(r: &mut Runner) {
+    r.bench_batched(
+        "controller_tick/frfcfs_32deep",
+        64,
+        || filled_controller(Box::new(FrFcfs)),
+        |mut mc| {
+            let mut done = Vec::new();
+            for now in 0..64 {
+                mc.tick(now, &mut done);
             }
-            acc
-        });
-    });
-    g.finish();
+            mc
+        },
+    );
+    r.bench_batched(
+        "controller_tick/tcm_32deep",
+        64,
+        || filled_controller(Box::new(Tcm::new(Default::default(), 4))),
+        |mut mc| {
+            let mut done = Vec::new();
+            for now in 0..64 {
+                mc.tick(now, &mut done);
+            }
+            mc
+        },
+    );
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut g = c.benchmark_group("system");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(100_000)); // CPU cycles stepped
-    g.bench_function("step_100k_cycles_4core", |b| {
-        b.iter_batched(
-            || {
-                let mut cfg = SimConfig::fast_test();
-                cfg.warmup_instructions = 0;
-                let traces: Vec<Box<dyn dbp_cpu::TraceSource>> = ["mcf", "lbm", "libquantum", "milc"]
-                    .iter()
-                    .enumerate()
-                    .map(|(i, n)| {
-                        Box::new(SyntheticTrace::new(profiles::by_name(n), i as u64))
-                            as Box<dyn dbp_cpu::TraceSource>
-                    })
-                    .collect();
-                System::new(cfg, traces)
-            },
-            |mut sys| {
-                for _ in 0..100_000 {
-                    sys.step();
-                }
-                sys
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    g.finish();
+fn bench_allocator(r: &mut Runner) {
+    let cfg = DramConfig { rows_per_bank: 256, ..DramConfig::default() };
+    r.bench_batched(
+        "frame_allocator/alloc_free_1k",
+        1024,
+        || FrameAllocator::new(&cfg),
+        |mut a| {
+            let allowed = ColorSet::range(0, 8);
+            let mut frames = Vec::with_capacity(1024);
+            for _ in 0..1024 {
+                frames.push(a.alloc(&allowed).unwrap());
+            }
+            for f in frames {
+                a.free(f);
+            }
+            a
+        },
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_dram_commands,
-    bench_controller_tick,
-    bench_allocator,
-    bench_cache,
-    bench_trace_generation,
-    bench_end_to_end
-);
-criterion_main!(benches);
+fn bench_cache(r: &mut Runner) {
+    r.bench_batched(
+        "cache/hierarchy_stream_4k",
+        4096,
+        || Hierarchy::new(HierarchyConfig::default()),
+        |mut h| {
+            for i in 0..4096u64 {
+                h.access(i * 64, i % 5 == 0);
+            }
+            h
+        },
+    );
+}
+
+fn bench_trace_generation(r: &mut Runner) {
+    use dbp_cpu::TraceSource;
+    let mut t = SyntheticTrace::new(profiles::by_name("mcf"), 1);
+    r.bench("workloads/synthetic_mcf_4k_ops", 4096, || {
+        let mut acc = 0u64;
+        for _ in 0..4096 {
+            acc ^= t.next_op().addr;
+        }
+        acc
+    });
+}
+
+fn bench_end_to_end(r: &mut Runner) {
+    r.bench_batched(
+        "system/step_100k_cycles_4core",
+        100_000, // CPU cycles stepped
+        || {
+            let mut cfg = SimConfig::fast_test();
+            cfg.warmup_instructions = 0;
+            let traces: Vec<Box<dyn dbp_cpu::TraceSource>> = ["mcf", "lbm", "libquantum", "milc"]
+                .iter()
+                .enumerate()
+                .map(|(i, n)| {
+                    Box::new(SyntheticTrace::new(profiles::by_name(n), i as u64))
+                        as Box<dyn dbp_cpu::TraceSource>
+                })
+                .collect();
+            System::new(cfg, traces)
+        },
+        |mut sys| {
+            for _ in 0..100_000 {
+                sys.step();
+            }
+            sys
+        },
+    );
+}
+
+fn main() {
+    let mut r = Runner::from_env();
+    bench_dram_commands(&mut r);
+    bench_controller_tick(&mut r);
+    bench_allocator(&mut r);
+    bench_cache(&mut r);
+    bench_trace_generation(&mut r);
+    bench_end_to_end(&mut r);
+    r.finish();
+}

@@ -134,10 +134,6 @@ impl Dbp {
                 active.iter().partition(|&&i| demands[i] <= share.max(1));
             if fits.is_empty() || over.is_empty() {
                 let dem: Vec<f64> = active.iter().map(|&i| f64::from(demands[i])).collect();
-                for (k, &i) in active.iter().enumerate() {
-                    alloc[i] = Some(0);
-                    let _ = k;
-                }
                 let split = proportional_alloc(remaining, &dem);
                 for (&i, s) in active.iter().zip(split) {
                     alloc[i] = Some(s);

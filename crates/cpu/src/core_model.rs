@@ -373,70 +373,97 @@ mod tests {
 mod prop_tests {
     use super::*;
     use crate::trace::ReplaySource;
-    use proptest::prelude::*;
+    use dbp_util::prop::{any_bool, check, range, vec_of, CaseResult, Config, Gen};
+    use dbp_util::prop_assert;
 
-    fn arb_trace() -> impl Strategy<Value = Vec<TraceOp>> {
-        prop::collection::vec(
-            (0u32..50, 0u64..1_000_000, any::<bool>())
-                .prop_map(|(gap, page, is_write)| TraceOp { gap, addr: page << 6, is_write }),
+    fn arb_trace() -> impl Gen<Value = Vec<TraceOp>> {
+        vec_of(
+            (range(0u32..50), range(0u64..1_000_000), any_bool())
+                .map(|(gap, page, is_write)| TraceOp { gap, addr: page << 6, is_write }),
             1..40,
         )
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// The window bound holds for any trace and any memory behaviour:
-        /// outstanding loads never exceed the ROB, and retired count is
-        /// monotone and bounded by dispatch.
-        #[test]
-        fn window_invariants_hold(
-            trace in arb_trace(),
-            rob in 1u64..64,
-            width in 1u32..8,
-            latencies in prop::collection::vec(0u32..400, 8),
-        ) {
-            let mut core = Core::new(
-                CoreConfig { rob, width },
-                Box::new(ReplaySource::new(trace)),
-            );
-            let mut k = 0usize;
-            let mut pending: Vec<u64> = Vec::new();
-            let mut last_retired = 0;
-            for now in 0..400u64 {
-                let mut issued = Vec::new();
-                let mut mem = |_a: u64, is_write: bool, id: u64| {
-                    k += 1;
-                    match k % 3 {
-                        0 => MemIssue::Retry,
-                        1 => MemIssue::Done { latency: latencies[k % latencies.len()] },
-                        _ => {
-                            if !is_write {
-                                // Only loads produce completion callbacks.
-                                issued.push(id);
-                            }
-                            MemIssue::Pending
+    /// The window bound holds for any trace and any memory behaviour:
+    /// outstanding loads never exceed the ROB, and retired count is
+    /// monotone and bounded by dispatch.
+    fn window_invariants(
+        trace: Vec<TraceOp>,
+        rob: u64,
+        width: u32,
+        latencies: &[u32],
+    ) -> CaseResult {
+        let mut core = Core::new(
+            CoreConfig { rob, width },
+            Box::new(ReplaySource::new(trace)),
+        );
+        let mut k = 0usize;
+        let mut pending: Vec<u64> = Vec::new();
+        let mut last_retired = 0;
+        for now in 0..400u64 {
+            let mut issued = Vec::new();
+            let mut mem = |_a: u64, is_write: bool, id: u64| {
+                k += 1;
+                match k % 3 {
+                    0 => MemIssue::Retry,
+                    1 => MemIssue::Done { latency: latencies[k % latencies.len()] },
+                    _ => {
+                        if !is_write {
+                            // Only loads produce completion callbacks.
+                            issued.push(id);
                         }
-                    }
-                };
-                core.tick(now, &mut mem);
-                drop(mem);
-                pending.extend(issued);
-                // Randomly complete one pending load.
-                if now % 7 == 0 {
-                    if let Some(id) = pending.pop() {
-                        core.complete(id);
+                        MemIssue::Pending
                     }
                 }
-                prop_assert!(core.outstanding_loads() as u64 <= rob);
-                prop_assert!(core.retired() >= last_retired, "retirement is monotone");
-                last_retired = core.retired();
+            };
+            core.tick(now, &mut mem);
+            drop(mem);
+            pending.extend(issued);
+            // Randomly complete one pending load.
+            if now % 7 == 0 {
+                if let Some(id) = pending.pop() {
+                    core.complete(id);
+                }
             }
+            prop_assert!(core.outstanding_loads() as u64 <= rob);
+            prop_assert!(core.retired() >= last_retired, "retirement is monotone");
+            last_retired = core.retired();
         }
+        Ok(())
+    }
 
-        /// With every access hitting instantly, IPC approaches the width.
-        #[test]
-        fn ideal_memory_reaches_peak_ipc(width in 1u32..6) {
+    #[test]
+    fn window_invariants_hold() {
+        let g = (
+            arb_trace(),
+            range(1u64..64),
+            range(1u32..8),
+            vec_of(range(0u32..400), 8..9),
+        );
+        check(Config::cases(64), &g, |(trace, rob, width, latencies)| {
+            window_invariants(trace, rob, width, &latencies)
+        });
+    }
+
+    /// Regression: the shrunk counterexample recorded by the old proptest
+    /// harness in `proptest-regressions/core_model.txt` — a single
+    /// zero-gap store through a minimal (ROB 1, width 1) window with
+    /// instant memory.
+    #[test]
+    fn regression_single_store_minimal_window() {
+        window_invariants(
+            vec![TraceOp { gap: 0, addr: 0, is_write: true }],
+            1,
+            1,
+            &[0; 8],
+        )
+        .unwrap();
+    }
+
+    /// With every access hitting instantly, IPC approaches the width.
+    #[test]
+    fn ideal_memory_reaches_peak_ipc() {
+        check(Config::cases(64), &range(1u32..6), |width| {
             let trace = vec![TraceOp { gap: 10, addr: 64, is_write: false }];
             let mut core = Core::new(
                 CoreConfig { rob: 256, width },
@@ -449,6 +476,7 @@ mod prop_tests {
             }
             let ipc = core.retired() as f64 / cycles as f64;
             prop_assert!(ipc > f64::from(width) * 0.9, "ipc {ipc} width {width}");
-        }
+            Ok(())
+        });
     }
 }

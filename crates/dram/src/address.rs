@@ -233,7 +233,6 @@ impl AddressMapper {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn cfg(scheme: MappingScheme) -> DramConfig {
         DramConfig {
@@ -357,39 +356,53 @@ mod tests {
         }
     }
 
-    proptest! {
+    mod props {
+        use super::*;
+        use dbp_util::prop::{check, range, Config};
+        use dbp_util::{prop_assert, prop_assert_eq};
+
         #[test]
-        fn decode_encode_roundtrip(pa in 0u64..(4u64 << 30), scheme_idx in 0usize..3) {
-            let scheme = [
-                MappingScheme::PageColoring,
-                MappingScheme::PermutedPageColoring,
-                MappingScheme::LineInterleaved,
-            ][scheme_idx];
-            let m = AddressMapper::new(&cfg(scheme));
-            let pa = pa & !63; // burst aligned
-            let d = m.decode(pa);
-            prop_assert_eq!(m.encode(&d), pa);
+        fn decode_encode_roundtrip() {
+            let g = (range(0u64..(4u64 << 30)), range(0usize..3));
+            check(Config::default(), &g, |(pa, scheme_idx)| {
+                let scheme = [
+                    MappingScheme::PageColoring,
+                    MappingScheme::PermutedPageColoring,
+                    MappingScheme::LineInterleaved,
+                ][scheme_idx];
+                let m = AddressMapper::new(&cfg(scheme));
+                let pa = pa & !63; // burst aligned
+                let d = m.decode(pa);
+                prop_assert_eq!(m.encode(&d), pa);
+                Ok(())
+            });
         }
 
         #[test]
-        fn decoded_fields_in_range(pa in 0u64..(4u64 << 30)) {
-            let c = cfg(MappingScheme::PageColoring);
-            let m = AddressMapper::new(&c);
-            let d = m.decode(pa);
-            prop_assert!(d.channel < c.channels);
-            prop_assert!(d.rank < c.ranks_per_channel);
-            prop_assert!(d.bank < c.banks_per_rank);
-            prop_assert!(d.row < c.rows_per_bank);
-            prop_assert!(d.column < c.columns_per_row());
+        fn decoded_fields_in_range() {
+            check(Config::default(), &range(0u64..(4u64 << 30)), |pa| {
+                let c = cfg(MappingScheme::PageColoring);
+                let m = AddressMapper::new(&c);
+                let d = m.decode(pa);
+                prop_assert!(d.channel < c.channels);
+                prop_assert!(d.rank < c.ranks_per_channel);
+                prop_assert!(d.bank < c.banks_per_rank);
+                prop_assert!(d.row < c.rows_per_bank);
+                prop_assert!(d.column < c.columns_per_row());
+                Ok(())
+            });
         }
 
         #[test]
-        fn frame_color_matches_line_colors(frame in 0u64..100_000) {
-            let c = cfg(MappingScheme::PageColoring);
-            let m = AddressMapper::new(&c);
-            let fc = m.frame_color(frame).unwrap();
-            let d = m.decode((frame << m.page_bits()) + 128);
-            prop_assert_eq!(m.color_of(&d), fc);
+        fn frame_color_matches_line_colors() {
+            check(Config::default(), &range(0u64..100_000), |frame| {
+                let c = cfg(MappingScheme::PageColoring);
+                let m = AddressMapper::new(&c);
+                let fc = m.frame_color(frame).unwrap();
+                let d = m.decode((frame << m.page_bits()) + 128);
+                prop_assert_eq!(m.color_of(&d), fc);
+                Ok(())
+            });
         }
     }
 }

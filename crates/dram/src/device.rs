@@ -473,7 +473,8 @@ mod tests {
 mod prop_tests {
     use super::*;
     use crate::config::DramConfig;
-    use proptest::prelude::*;
+    use dbp_util::prop::{any_bool, check, one_of, range, vec_of, BoxedGen, Config, Gen};
+    use dbp_util::prop_assert;
 
     #[derive(Debug, Clone)]
     enum Op {
@@ -481,22 +482,21 @@ mod prop_tests {
         Close { bank: u32 },
     }
 
-    fn arb_op() -> impl Strategy<Value = Op> {
-        prop_oneof![
-            (0u32..4, 0u32..64, 0u32..32, any::<bool>())
-                .prop_map(|(bank, row, column, write)| Op::Touch { bank, row, column, write }),
-            (0u32..4).prop_map(|bank| Op::Close { bank }),
-        ]
+    fn arb_op() -> impl Gen<Value = Op> {
+        one_of::<Op>(vec![
+            (range(0u32..4), range(0u32..64), range(0u32..32), any_bool())
+                .map(|(bank, row, column, write)| Op::Touch { bank, row, column, write })
+                .boxed() as BoxedGen<Op>,
+            range(0u32..4).map(|bank| Op::Close { bank }).boxed(),
+        ])
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        /// Drive a random but legal command stream and check global
-        /// invariants: data bursts never overlap on the channel bus and
-        /// reads always return data after their issue time.
-        #[test]
-        fn random_legal_streams_keep_bus_exclusive(ops in prop::collection::vec(arb_op(), 1..60)) {
+    /// Drive a random but legal command stream and check global
+    /// invariants: data bursts never overlap on the channel bus and
+    /// reads always return data after their issue time.
+    #[test]
+    fn random_legal_streams_keep_bus_exclusive() {
+        check(Config::cases(48), &vec_of(arb_op(), 1..60), |ops| {
             let mut d = Dram::new(DramConfig::fast_test());
             let mut now: Cycle = 0;
             let mut bursts: Vec<(Cycle, Cycle)> = Vec::new();
@@ -547,12 +547,15 @@ mod prop_tests {
                     w[1]
                 );
             }
-        }
+            Ok(())
+        });
+    }
 
-        /// Whatever earliest_issue returns must actually be issuable at
-        /// that cycle (issue() asserts legality internally).
-        #[test]
-        fn earliest_issue_is_self_consistent(seed_rows in prop::collection::vec(0u32..64, 1..20)) {
+    /// Whatever earliest_issue returns must actually be issuable at
+    /// that cycle (issue() asserts legality internally).
+    #[test]
+    fn earliest_issue_is_self_consistent() {
+        check(Config::cases(48), &vec_of(range(0u32..64), 1..20), |seed_rows| {
             let mut d = Dram::new(DramConfig::fast_test());
             let mut now = 0;
             for (i, row) in seed_rows.iter().enumerate() {
@@ -570,6 +573,7 @@ mod prop_tests {
                 now = d.earliest_issue(&rd, now).unwrap();
                 d.issue(&rd, now);
             }
-        }
+            Ok(())
+        });
     }
 }

@@ -480,27 +480,29 @@ mod tests {
 #[cfg(test)]
 mod prop_tests {
     use super::*;
-    use proptest::prelude::*;
+    use dbp_util::prop::{check, one_of, range, vec_of, BoxedGen, Config, Gen};
+    use dbp_util::{prop_assert, prop_assert_eq};
 
     fn small_cfg() -> DramConfig {
         DramConfig { rows_per_bank: 64, ..DramConfig::default() }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-
-        /// No two (thread, page) mappings ever share a frame, across any
-        /// interleaving of touches and repartitions.
-        #[test]
-        fn frames_are_never_aliased(
-            script in prop::collection::vec(
-                prop_oneof![
-                    (0usize..3, 0u64..64).prop_map(|(t, v)| (t, v, false)),
-                    (0usize..3, 0u32..16).prop_map(|(t, c)| (t, u64::from(c), true)),
-                ],
-                1..80,
-            ),
-        ) {
+    /// No two (thread, page) mappings ever share a frame, across any
+    /// interleaving of touches and repartitions.
+    #[test]
+    fn frames_are_never_aliased() {
+        let script_gen = vec_of(
+            one_of::<(usize, u64, bool)>(vec![
+                (range(0usize..3), range(0u64..64))
+                    .map(|(t, v)| (t, v, false))
+                    .boxed() as BoxedGen<(usize, u64, bool)>,
+                (range(0usize..3), range(0u32..16))
+                    .map(|(t, c)| (t, u64::from(c), true))
+                    .boxed(),
+            ]),
+            1..80,
+        );
+        check(Config::cases(32), &script_gen, |script| {
             let mut mm = MemoryManager::new(&small_cfg(), 3, MigrationMode::Lazy);
             for (thread, arg, is_repartition) in script {
                 if is_repartition {
@@ -529,14 +531,18 @@ mod prop_tests {
                 }
             }
             prop_assert_eq!(mm.stats().failed_migrations, 0);
-        }
+            Ok(())
+        });
+    }
 
-        /// Repartition + conform always reaches zero violations.
-        #[test]
-        fn conform_reaches_fixpoint(
-            touches in prop::collection::vec((0usize..2, 0u64..48), 1..60),
-            target_color in 0u32..32,
-        ) {
+    /// Repartition + conform always reaches zero violations.
+    #[test]
+    fn conform_reaches_fixpoint() {
+        let g = (
+            vec_of((range(0usize..2), range(0u64..48)), 1..60),
+            range(0u32..32),
+        );
+        check(Config::cases(32), &g, |(touches, target_color)| {
             let mut mm = MemoryManager::new(&small_cfg(), 2, MigrationMode::Lazy);
             for (t, p) in touches {
                 mm.translate(t, p << 12);
@@ -547,6 +553,7 @@ mod prop_tests {
             mm.conform_all();
             prop_assert_eq!(mm.violating_pages(0), 0);
             prop_assert_eq!(mm.violating_pages(1), 0);
-        }
+            Ok(())
+        });
     }
 }

@@ -1,0 +1,204 @@
+//! A criterion-free micro-bench runner.
+//!
+//! Each benchmark is `warmup` untimed iterations followed by `iters`
+//! timed ones; the report prints min / median / p95 wall time per
+//! iteration plus per-element throughput when the benchmark declares how
+//! many logical elements one iteration processes.
+//!
+//! Environment knobs (useful in CI, where `DBP_BENCH_ITERS=5` keeps the
+//! suite cheap):
+//!
+//! - `DBP_BENCH_ITERS`   — timed iterations per benchmark (default 30)
+//! - `DBP_BENCH_WARMUP`  — warmup iterations per benchmark (default 5)
+//!
+//! ```no_run
+//! let mut r = dbp_util::bench::Runner::from_env();
+//! r.bench("sum_1k", 1024, || (0..1024u64).sum::<u64>());
+//! r.finish();
+//! ```
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Iteration counts for one [`Runner`].
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    pub warmup_iters: u32,
+    pub iters: u32,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig { warmup_iters: 5, iters: 30 }
+    }
+}
+
+/// One benchmark's timing summary, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    pub name: String,
+    pub min_ns: u128,
+    pub median_ns: u128,
+    pub p95_ns: u128,
+    /// Logical elements processed per iteration (0 = unspecified).
+    pub elements: u64,
+}
+
+impl Summary {
+    /// Millions of elements per second at the median, if declared.
+    pub fn melems_per_sec(&self) -> Option<f64> {
+        if self.elements == 0 || self.median_ns == 0 {
+            return None;
+        }
+        Some(self.elements as f64 * 1e3 / self.median_ns as f64)
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Runs benchmarks and accumulates their [`Summary`] rows.
+#[derive(Debug, Default)]
+pub struct Runner {
+    cfg: BenchConfig,
+    results: Vec<Summary>,
+}
+
+fn env_u32(name: &str, default: u32) -> u32 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+impl Runner {
+    /// A runner with explicit iteration counts.
+    pub fn new(cfg: BenchConfig) -> Self {
+        Runner { cfg, results: Vec::new() }
+    }
+
+    /// A runner honouring `DBP_BENCH_ITERS` / `DBP_BENCH_WARMUP`.
+    pub fn from_env() -> Self {
+        Runner::new(BenchConfig {
+            warmup_iters: env_u32("DBP_BENCH_WARMUP", BenchConfig::default().warmup_iters),
+            iters: env_u32("DBP_BENCH_ITERS", BenchConfig::default().iters),
+        })
+    }
+
+    /// Time `routine` with a fresh `setup()` value per iteration (the
+    /// setup cost is excluded, like criterion's `iter_batched`).
+    pub fn bench_batched<S, T>(
+        &mut self,
+        name: &str,
+        elements: u64,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> T,
+    ) -> &Summary {
+        for _ in 0..self.cfg.warmup_iters {
+            black_box(routine(setup()));
+        }
+        let mut samples: Vec<u128> = Vec::with_capacity(self.cfg.iters as usize);
+        for _ in 0..self.cfg.iters.max(1) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed().as_nanos());
+        }
+        samples.sort_unstable();
+        let summary = Summary {
+            name: name.to_owned(),
+            min_ns: samples[0],
+            median_ns: samples[samples.len() / 2],
+            // Nearest-rank p95.
+            p95_ns: samples[(samples.len() * 95).div_ceil(100).saturating_sub(1)],
+            elements,
+        };
+        self.results.push(summary);
+        self.results.last().expect("just pushed")
+    }
+
+    /// Time `routine` alone (state persists across iterations).
+    pub fn bench<T>(&mut self, name: &str, elements: u64, mut routine: impl FnMut() -> T) -> &Summary {
+        self.bench_batched(name, elements, || (), |()| routine())
+    }
+
+    /// All summaries so far.
+    pub fn results(&self) -> &[Summary] {
+        &self.results
+    }
+
+    /// Render the report table.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<36} {:>12} {:>12} {:>12} {:>14}\n",
+            "benchmark", "min", "median", "p95", "throughput"
+        ));
+        for s in &self.results {
+            let tp = s
+                .melems_per_sec()
+                .map(|m| format!("{m:.2} Melem/s"))
+                .unwrap_or_else(|| "-".to_owned());
+            out.push_str(&format!(
+                "{:<36} {:>12} {:>12} {:>12} {:>14}\n",
+                s.name,
+                fmt_ns(s.min_ns),
+                fmt_ns(s.median_ns),
+                fmt_ns(s.p95_ns),
+                tp
+            ));
+        }
+        out
+    }
+
+    /// Print the report to stdout.
+    pub fn finish(&self) {
+        print!("{}", self.report());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summaries_are_ordered_and_named() {
+        let mut r = Runner::new(BenchConfig { warmup_iters: 1, iters: 9 });
+        r.bench("spin", 64, || {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        let s = &r.results()[0];
+        assert_eq!(s.name, "spin");
+        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.p95_ns);
+        assert!(s.melems_per_sec().is_some());
+    }
+
+    #[test]
+    fn batched_setup_not_timed_and_report_renders() {
+        let mut r = Runner::new(BenchConfig { warmup_iters: 0, iters: 3 });
+        r.bench_batched("consume_vec", 0, || vec![1u8; 1024], |v| v.len());
+        let report = r.report();
+        assert!(report.contains("consume_vec"));
+        assert!(report.contains("median"));
+        // elements = 0 -> no throughput column value.
+        assert!(report.contains(" -"));
+    }
+
+    #[test]
+    fn env_override_parses() {
+        assert_eq!(env_u32("DBP_BENCH_NO_SUCH_VAR", 17), 17);
+    }
+}

@@ -1,0 +1,641 @@
+//! A minimal property-based testing harness (in-tree `proptest`
+//! replacement).
+//!
+//! # Model
+//!
+//! A [`Gen`] builds a random value by *drawing bounded choices* from a
+//! [`Source`]. The source records every choice, so a generated case is
+//! fully described by its choice log — and **shrinking** is just mutating
+//! that log (deleting spans, zeroing and halving entries) and
+//! regenerating. Because shrinking operates below the generator, it
+//! composes through [`Gen::map`], tuples, vectors, and [`one_of`] with no
+//! per-type shrink code, the same way Hypothesis shrinks its byte stream.
+//!
+//! # Determinism and replay
+//!
+//! Case generation is seeded deterministically: the same binary produces
+//! the same cases on every run and every machine (the build is hermetic;
+//! the tests are too). When a property fails, the harness shrinks the
+//! case (bounded by [`Config::max_shrink_iters`]) and reports the
+//! originating case seed:
+//!
+//! ```text
+//! property failed: ... (replay with DBP_PROP_SEED=1234567890)
+//! ```
+//!
+//! Re-running the test with that environment variable set regenerates
+//! exactly the failing case (and only it):
+//!
+//! ```sh
+//! DBP_PROP_SEED=1234567890 cargo test -p dbp-memctrl all_requests_complete
+//! ```
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::rng::{splitmix64, Rng};
+
+/// Outcome of one property evaluation: `Err` carries the failure message.
+pub type CaseResult = Result<(), String>;
+
+/// Bounded-choice randomness with recording and replay.
+pub struct Source<'a> {
+    rng: Rng,
+    replay: Option<&'a [u64]>,
+    pos: usize,
+    log: Vec<u64>,
+}
+
+impl<'a> Source<'a> {
+    /// A fresh recording source seeded with `seed`.
+    pub fn recording(seed: u64) -> Source<'static> {
+        Source { rng: Rng::seed_from_u64(seed), replay: None, pos: 0, log: Vec::new() }
+    }
+
+    /// A source replaying `log`; draws beyond its end return the minimum
+    /// (zero) choice, so any truncated log still generates a valid value.
+    pub fn replaying(log: &'a [u64]) -> Source<'a> {
+        Source { rng: Rng::seed_from_u64(0), replay: Some(log), pos: 0, log: Vec::new() }
+    }
+
+    /// Draw a choice in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn draw(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty choice bound");
+        let c = match self.replay {
+            Some(r) if self.pos < r.len() => r[self.pos] % bound,
+            Some(_) => 0,
+            None => self.rng.next_below(bound),
+        };
+        self.pos += 1;
+        self.log.push(c);
+        c
+    }
+
+    fn into_log(self) -> Vec<u64> {
+        self.log
+    }
+}
+
+/// A value generator driven by a [`Source`].
+pub trait Gen {
+    type Value: Clone + Debug;
+
+    /// Produce one value, drawing as many choices as needed.
+    fn generate(&self, src: &mut Source) -> Self::Value;
+
+    /// Transform generated values (shrinking still happens on the
+    /// underlying choices, so mapped generators shrink for free).
+    fn map<W, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        W: Clone + Debug,
+        F: Fn(Self::Value) -> W,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase, for heterogeneous arms in [`one_of`].
+    fn boxed(self) -> BoxedGen<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased generator.
+pub type BoxedGen<V> = Box<dyn Gen<Value = V>>;
+
+impl<V: Clone + Debug> Gen for BoxedGen<V> {
+    type Value = V;
+    fn generate(&self, src: &mut Source) -> V {
+        (**self).generate(src)
+    }
+}
+
+/// See [`Gen::map`].
+pub struct Map<G, F> {
+    inner: G,
+    f: F,
+}
+
+impl<G, W, F> Gen for Map<G, F>
+where
+    G: Gen,
+    W: Clone + Debug,
+    F: Fn(G::Value) -> W,
+{
+    type Value = W;
+    fn generate(&self, src: &mut Source) -> W {
+        (self.f)(self.inner.generate(src))
+    }
+}
+
+/// A generator from a closure over the [`Source`].
+pub struct FromFn<V, F> {
+    f: F,
+    _marker: PhantomData<fn() -> V>,
+}
+
+impl<V: Clone + Debug, F: Fn(&mut Source) -> V> Gen for FromFn<V, F> {
+    type Value = V;
+    fn generate(&self, src: &mut Source) -> V {
+        (self.f)(src)
+    }
+}
+
+/// Build a generator from a closure.
+pub fn from_fn<V, F>(f: F) -> FromFn<V, F>
+where
+    V: Clone + Debug,
+    F: Fn(&mut Source) -> V,
+{
+    FromFn { f, _marker: PhantomData }
+}
+
+/// Integer types usable with [`range`].
+pub trait ChoiceInt: Copy + Clone + Debug + 'static {
+    fn to_u64(self) -> u64;
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_choice_int {
+    ($($t:ty),*) => {$(
+        impl ChoiceInt for $t {
+            fn to_u64(self) -> u64 { self as u64 }
+            fn from_u64(v: u64) -> Self { v as $t }
+        }
+    )*};
+}
+
+impl_choice_int!(u8, u16, u32, u64, usize);
+
+/// Uniform integers in a half-open range; shrinks toward the start.
+pub fn range<T: ChoiceInt>(r: core::ops::Range<T>) -> impl Gen<Value = T> {
+    let (lo, hi) = (r.start.to_u64(), r.end.to_u64());
+    assert!(lo < hi, "empty range");
+    from_fn(move |src| T::from_u64(lo + src.draw(hi - lo)))
+}
+
+/// Uniform `f64` in a half-open range; shrinks toward the start.
+pub fn f64_range(r: core::ops::Range<f64>) -> impl Gen<Value = f64> {
+    let (lo, hi) = (r.start, r.end);
+    assert!(lo < hi, "empty range");
+    from_fn(move |src| lo + src.draw(1 << 53) as f64 * (1.0 / (1u64 << 53) as f64) * (hi - lo))
+}
+
+/// Uniform booleans; shrinks toward `false`.
+pub fn any_bool() -> impl Gen<Value = bool> {
+    from_fn(|src| src.draw(2) == 1)
+}
+
+/// A vector of `elem` values with length drawn from `len`; shrinks both
+/// the length and the elements.
+pub fn vec_of<G: Gen>(elem: G, len: core::ops::Range<usize>) -> impl Gen<Value = Vec<G::Value>> {
+    let (lo, hi) = (len.start as u64, len.end as u64);
+    assert!(lo < hi, "empty length range");
+    from_fn(move |src| {
+        let n = lo + src.draw(hi - lo);
+        (0..n).map(|_| elem.generate(src)).collect()
+    })
+}
+
+/// Pick one arm uniformly and generate from it (a `prop_oneof`
+/// replacement); shrinks toward the first arm.
+///
+/// # Panics
+///
+/// Panics if `arms` is empty.
+pub fn one_of<V: Clone + Debug + 'static>(arms: Vec<BoxedGen<V>>) -> impl Gen<Value = V> {
+    assert!(!arms.is_empty(), "one_of needs at least one arm");
+    from_fn(move |src| {
+        let i = src.draw(arms.len() as u64) as usize;
+        arms[i].generate(src)
+    })
+}
+
+macro_rules! impl_tuple_gen {
+    ($(($($g:ident / $idx:tt),+);)*) => {$(
+        impl<$($g: Gen),+> Gen for ($($g,)+) {
+            type Value = ($($g::Value,)+);
+            fn generate(&self, src: &mut Source) -> Self::Value {
+                ($(self.$idx.generate(src),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_gen! {
+    (A/0, B/1);
+    (A/0, B/1, C/2);
+    (A/0, B/1, C/2, D/3);
+    (A/0, B/1, C/2, D/3, E/4);
+}
+
+/// Runner knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Cases generated per property (proptest's default is 256; ours too).
+    pub cases: u32,
+    /// Budget of candidate evaluations while shrinking a failure.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256, max_shrink_iters: 1024 }
+    }
+}
+
+impl Config {
+    /// A config running `n` cases.
+    pub fn cases(n: u32) -> Self {
+        Config { cases: n, ..Config::default() }
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+fn run_case<V: Clone>(prop: &impl Fn(V) -> CaseResult, value: V) -> CaseResult {
+    match catch_unwind(AssertUnwindSafe(|| prop(value))) {
+        Ok(r) => r,
+        Err(p) => Err(panic_message(&*p)),
+    }
+}
+
+/// Lexicographic shrink measure: fewer choices, then smaller choices.
+fn measure(log: &[u64]) -> (usize, u128) {
+    (log.len(), log.iter().map(|&v| u128::from(v)).sum())
+}
+
+/// Greedy shrink state: the simplest known-failing choice log.
+struct Shrinker<'a, G: Gen, P: Fn(G::Value) -> CaseResult> {
+    gen: &'a G,
+    prop: &'a P,
+    attempts: u32,
+    budget: u32,
+    best_log: Vec<u64>,
+    best_val: G::Value,
+    best_msg: String,
+}
+
+impl<G: Gen, P: Fn(G::Value) -> CaseResult> Shrinker<'_, G, P> {
+    fn exhausted(&self) -> bool {
+        self.attempts >= self.budget
+    }
+
+    /// Regenerate from `cand`; adopt it if it still fails and its
+    /// normalized log is strictly simpler (so the greedy walk cannot
+    /// cycle). Returns whether it was adopted.
+    fn try_adopt(&mut self, cand: &[u64]) -> bool {
+        if self.exhausted() {
+            return false;
+        }
+        self.attempts += 1;
+        let mut src = Source::replaying(cand);
+        let value = self.gen.generate(&mut src);
+        let norm = src.into_log();
+        if measure(&norm) >= measure(&self.best_log) {
+            return false;
+        }
+        if let Err(msg) = run_case(self.prop, value.clone()) {
+            self.best_log = norm;
+            self.best_val = value;
+            self.best_msg = msg;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// One pass of span deletions, largest chunks first. Returns whether
+    /// anything was deleted.
+    fn delete_spans(&mut self) -> bool {
+        let mut improved = false;
+        let mut chunk = self.best_log.len();
+        while chunk >= 1 && !self.exhausted() {
+            let mut start = 0;
+            while start + chunk <= self.best_log.len() && !self.exhausted() {
+                let mut cand = self.best_log.clone();
+                cand.drain(start..start + chunk);
+                if self.try_adopt(&cand) {
+                    improved = true;
+                    // The log shrank under us; retry the same position.
+                } else {
+                    start += chunk;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        improved
+    }
+
+    /// Binary-search each choice toward its minimum. Returns whether any
+    /// choice got smaller.
+    fn minimize_choices(&mut self) -> bool {
+        let mut improved = false;
+        let mut i = 0;
+        while i < self.best_log.len() && !self.exhausted() {
+            let len_before = self.best_log.len();
+            let mut lo = 0u64;
+            while lo < self.best_log[i] && !self.exhausted() {
+                let cur = self.best_log[i];
+                let mid = lo + (cur - lo) / 2;
+                let mut cand = self.best_log.clone();
+                cand[i] = mid;
+                if self.try_adopt(&cand) {
+                    improved = true;
+                    if self.best_log.len() != len_before {
+                        // This choice steered structure (e.g. a vec
+                        // length); indices shifted, restart outside.
+                        return true;
+                    }
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            i += 1;
+        }
+        improved
+    }
+}
+
+fn shrink<G: Gen>(
+    cfg: Config,
+    gen: &G,
+    prop: &impl Fn(G::Value) -> CaseResult,
+    log: Vec<u64>,
+    first_value: G::Value,
+    first_msg: String,
+) -> (G::Value, String) {
+    let mut sh = Shrinker {
+        gen,
+        prop,
+        attempts: 0,
+        budget: cfg.max_shrink_iters,
+        best_log: log,
+        best_val: first_value,
+        best_msg: first_msg,
+    };
+    loop {
+        let deleted = sh.delete_spans();
+        let minimized = sh.minimize_choices();
+        if (!deleted && !minimized) || sh.exhausted() {
+            break;
+        }
+    }
+    (sh.best_val, sh.best_msg)
+}
+
+fn run_one_seed<G: Gen>(cfg: Config, gen: &G, prop: &impl Fn(G::Value) -> CaseResult, seed: u64) {
+    let mut src = Source::recording(seed);
+    let value = gen.generate(&mut src);
+    if let Err(msg) = run_case(prop, value.clone()) {
+        let (shrunk, shrunk_msg) = shrink(cfg, gen, prop, src.into_log(), value.clone(), msg);
+        panic!(
+            "property failed: {shrunk_msg} (replay with DBP_PROP_SEED={seed})\n\
+             \x20 shrunk case: {shrunk:?}\n\
+             \x20 original case: {value:?}"
+        );
+    }
+}
+
+/// Check `prop` against `cfg.cases` generated values.
+///
+/// Generation is deterministic (hermetic builds get hermetic tests).
+/// Setting `DBP_PROP_SEED=<seed>` replays a single reported failure case
+/// instead of the full run.
+///
+/// # Panics
+///
+/// Panics — failing the enclosing `#[test]` — with the shrunk
+/// counterexample and its replay seed when the property does not hold.
+pub fn check<G: Gen>(cfg: Config, gen: &G, prop: impl Fn(G::Value) -> CaseResult) {
+    if let Ok(v) = std::env::var("DBP_PROP_SEED") {
+        let seed: u64 = v
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("DBP_PROP_SEED must be a u64, got {v:?}"));
+        run_one_seed(cfg, gen, &prop, seed);
+        return;
+    }
+    // Fixed base: identical cases on every run, every machine.
+    let mut state = 0xD8B9_5EED_0000_0001u64;
+    for _ in 0..cfg.cases {
+        let seed = splitmix64(&mut state);
+        run_one_seed(cfg, gen, &prop, seed);
+    }
+}
+
+/// `proptest`-style asserts for property bodies returning [`CaseResult`].
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($arg:tt)+) => {
+        if !($cond) {
+            return Err(format!($($arg)+));
+        }
+    };
+}
+
+/// Equality assert for property bodies; reports both values on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), a, b
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($arg:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err(format!($($arg)+));
+        }
+    }};
+}
+
+/// Inequality assert for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return Err(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($a), stringify!($b), a
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($arg:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return Err(format!($($arg)+));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let count = std::cell::Cell::new(0u32);
+        check(Config::cases(50), &range(0u64..100), |v| {
+            count.set(count.get() + 1);
+            prop_assert!(v < 100);
+            Ok(())
+        });
+        assert_eq!(count.get(), 50);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = vec_of((range(0u32..10), any_bool()), 1..8);
+        let collect = |seed| {
+            let mut src = Source::recording(seed);
+            g.generate(&mut src)
+        };
+        assert_eq!(collect(42), collect(42));
+        assert_ne!(
+            (0..20).map(collect).collect::<Vec<_>>(),
+            (100..120).map(collect).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn replay_reproduces_recorded_case() {
+        let g = vec_of(range(0u64..1000), 1..20);
+        let mut src = Source::recording(7);
+        let original = g.generate(&mut src);
+        let log = src.into_log();
+        let mut replay = Source::replaying(&log);
+        assert_eq!(g.generate(&mut replay), original);
+    }
+
+    #[test]
+    fn failing_property_panics_with_replay_seed() {
+        let err = catch_unwind(|| {
+            check(Config::cases(64), &range(0u64..1000), |v| {
+                prop_assert!(v < 990, "v = {v}");
+                Ok(())
+            });
+        })
+        .expect_err("property must fail");
+        let msg = panic_message(&*err);
+        assert!(msg.contains("DBP_PROP_SEED="), "no replay seed in: {msg}");
+    }
+
+    #[test]
+    fn shrinking_minimizes_scalar_counterexamples() {
+        let err = catch_unwind(|| {
+            check(Config::cases(64), &range(0u64..10_000), |v| {
+                prop_assert!(v < 500);
+                Ok(())
+            });
+        })
+        .expect_err("property must fail");
+        let msg = panic_message(&*err);
+        // The minimal counterexample is exactly the boundary.
+        assert!(msg.contains("shrunk case: 500"), "did not shrink to 500: {msg}");
+    }
+
+    #[test]
+    fn shrinking_minimizes_vec_counterexamples() {
+        let g = vec_of(range(0u64..100), 0..30);
+        let err = catch_unwind(|| {
+            check(Config::cases(64), &g, |v| {
+                prop_assert!(v.iter().sum::<u64>() < 150);
+                Ok(())
+            });
+        })
+        .expect_err("property must fail");
+        let msg = panic_message(&*err);
+        // A minimal failing vec sums to barely >= 150: at most 3 elements.
+        let shrunk = msg
+            .lines()
+            .find(|l| l.contains("shrunk case:"))
+            .unwrap()
+            .split("shrunk case:")
+            .nth(1)
+            .unwrap();
+        let elems = shrunk.matches(|c: char| c.is_ascii_digit()).count();
+        assert!(elems > 0);
+        let commas = shrunk.matches(',').count();
+        assert!(commas <= 3, "shrunk vec still large: {shrunk}");
+    }
+
+    #[test]
+    fn one_of_and_map_compose() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Op {
+            A(u32),
+            B(bool),
+        }
+        let g = one_of(vec![
+            range(0u32..7).map(Op::A).boxed(),
+            any_bool().map(Op::B).boxed(),
+        ]);
+        let mut src = Source::recording(3);
+        let mut seen_a = false;
+        let mut seen_b = false;
+        for _ in 0..100 {
+            match g.generate(&mut src) {
+                Op::A(v) => {
+                    assert!(v < 7);
+                    seen_a = true;
+                }
+                Op::B(_) => seen_b = true,
+            }
+        }
+        assert!(seen_a && seen_b);
+    }
+
+    #[test]
+    fn tuple_and_float_ranges_in_bounds() {
+        let g = (f64_range(1.5..2.5), range(3u8..9), any_bool());
+        let mut src = Source::recording(11);
+        for _ in 0..200 {
+            let (f, i, _) = g.generate(&mut src);
+            assert!((1.5..2.5).contains(&f));
+            assert!((3..9).contains(&i));
+        }
+    }
+
+    #[test]
+    fn plain_asserts_are_caught_and_shrunk() {
+        let err = catch_unwind(|| {
+            check(Config::cases(64), &range(0u64..100), |v| {
+                assert!(v < 60, "plain assert, v = {v}");
+                Ok(())
+            });
+        })
+        .expect_err("property must fail");
+        let msg = panic_message(&*err);
+        assert!(msg.contains("shrunk case: 60"), "bad shrink: {msg}");
+    }
+}

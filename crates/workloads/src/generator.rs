@@ -22,10 +22,8 @@
 //!   walked at a common index) have. Low-RBL profiles get short runs, so
 //!   their accesses are effectively random at row granularity regardless.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use dbp_cpu::{TraceOp, TraceSource};
+use dbp_util::Rng;
 
 use crate::profiles::BenchmarkProfile;
 
@@ -53,7 +51,7 @@ pub struct SyntheticTrace {
     burst_pos: usize,
     /// Mean compute gap carried by the first access of each burst.
     burst_gap: f64,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl SyntheticTrace {
@@ -87,7 +85,7 @@ impl SyntheticTrace {
             streams,
             burst_pos: 0,
             burst_gap: per_access_gap * k as f64 - (k as f64 - 1.0),
-            rng: StdRng::seed_from_u64(seed ^ 0x5EED_0000),
+            rng: Rng::seed_from_u64(seed ^ 0x5EED_0000),
         }
     }
 
@@ -99,7 +97,7 @@ impl SyntheticTrace {
     fn sample_run(&mut self) -> u32 {
         // Geometric with continue-probability rbl, capped at a page.
         let mut run = 1u32;
-        while (run as u64) < LINES_PER_PAGE && self.rng.gen::<f64>() < self.profile.rbl {
+        while (run as u64) < LINES_PER_PAGE && self.rng.gen_bool(self.profile.rbl) {
             run += 1;
         }
         run
@@ -113,7 +111,7 @@ impl TraceSource for SyntheticTrace {
         // jittered +/-50% for arrival-time variety; the rest follow
         // back-to-back so their misses overlap (BLP).
         let gap = if self.burst_pos == 0 {
-            let jitter = 0.5 + self.rng.gen::<f64>();
+            let jitter = 0.5 + self.rng.gen_f64();
             (self.burst_gap * jitter).round().max(0.0) as u32
         } else {
             0
@@ -143,7 +141,7 @@ impl TraceSource for SyntheticTrace {
         s.line += 1;
         s.run_left -= 1;
         self.burst_pos = (self.burst_pos + 1) % k;
-        let is_write = self.rng.gen::<f64>() < self.profile.write_frac;
+        let is_write = self.rng.gen_bool(self.profile.write_frac);
         TraceOp { gap, addr, is_write }
     }
 }

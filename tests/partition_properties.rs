@@ -6,57 +6,61 @@ use dbp_repro::dbp::policy::{
 };
 use dbp_repro::dbp::{ColorTopology, ThreadMemProfile};
 use dbp_repro::osmem::ColorSet;
-use proptest::prelude::*;
+use dbp_util::prop::{check, f64_range, range, vec_of, CaseResult, Config, Gen};
+use dbp_util::{prop_assert, prop_assert_eq};
 
-fn arb_profile() -> impl Strategy<Value = ThreadMemProfile> {
-    (0.0f64..60.0, 0.0f64..1.0, 1.0f64..8.0, 1u64..200_000, 0u64..800_000).prop_map(
-        |(mpki, rbl, blp, reads, bus)| ThreadMemProfile {
+fn arb_profile() -> impl Gen<Value = ThreadMemProfile> {
+    (
+        f64_range(0.0..60.0),
+        f64_range(0.0..1.0),
+        f64_range(1.0..8.0),
+        range(1u64..200_000),
+        range(0u64..800_000),
+    )
+        .map(|(mpki, rbl, blp, reads, bus)| ThreadMemProfile {
             mpki,
             rbl,
             blp,
             reads,
             bus_cycles: bus,
-        },
-    )
+        })
 }
 
-fn arb_topology() -> impl Strategy<Value = ColorTopology> {
-    (0u32..2, 0u32..2, 1u32..5)
-        .prop_map(|(ch, ra, ba)| ColorTopology::new(1 << ch, 1 << ra, 1 << ba))
+fn arb_topology() -> impl Gen<Value = ColorTopology> {
+    (range(0u32..2), range(0u32..2), range(1u32..5))
+        .map(|(ch, ra, ba)| ColorTopology::new(1 << ch, 1 << ra, 1 << ba))
 }
 
-fn check_plan_wellformed(plan: &[ColorSet], topo: &ColorTopology, n: usize) {
-    assert_eq!(plan.len(), n);
+fn check_plan_wellformed(plan: &[ColorSet], topo: &ColorTopology, n: usize) -> CaseResult {
+    prop_assert_eq!(plan.len(), n);
     for s in plan {
-        assert!(!s.is_empty(), "every thread needs at least one color");
+        prop_assert!(!s.is_empty(), "every thread needs at least one color");
         for c in s.iter() {
-            assert!(c < topo.num_colors(), "color {c} out of range");
+            prop_assert!(c < topo.num_colors(), "color {c} out of range");
         }
     }
+    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn dbp_plans_are_wellformed(
-        profiles in prop::collection::vec(arb_profile(), 1..6),
-        topo in arb_topology(),
-    ) {
+#[test]
+fn dbp_plans_are_wellformed() {
+    let g = (vec_of(arb_profile(), 1..6), arb_topology());
+    check(Config::cases(64), &g, |(profiles, topo)| {
         let mut dbp = Dbp::new(Default::default());
         let n = profiles.len();
         let plan = dbp.partition(&profiles, &topo, None);
-        check_plan_wellformed(&plan, &topo, n);
+        check_plan_wellformed(&plan, &topo, n)?;
         // Repartitioning with the same profiles must be stable.
         let again = dbp.partition(&profiles, &topo, Some(&plan));
         prop_assert_eq!(&plan, &again);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn dbp_intensive_threads_get_disjoint_colors(
-        profiles in prop::collection::vec(arb_profile(), 2..6),
-        topo in arb_topology(),
-    ) {
+#[test]
+fn dbp_intensive_threads_get_disjoint_colors() {
+    let g = (vec_of(arb_profile(), 2..6), arb_topology());
+    check(Config::cases(64), &g, |(profiles, topo)| {
         let mut dbp = Dbp::new(Default::default());
         let plan = dbp.partition(&profiles, &topo, None);
         let intensive: Vec<usize> = (0..profiles.len())
@@ -79,30 +83,32 @@ proptest! {
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn equal_plans_partition_everything(
-        n in 1usize..9,
-        topo in arb_topology(),
-    ) {
+#[test]
+fn equal_plans_partition_everything() {
+    let g = (range(1usize..9), arb_topology());
+    check(Config::cases(64), &g, |(n, topo)| {
         let mut eq = EqualBankPartitioning;
         let profiles = vec![ThreadMemProfile::default(); n];
         let plan = eq.partition(&profiles, &topo, None);
-        check_plan_wellformed(&plan, &topo, n);
+        check_plan_wellformed(&plan, &topo, n)?;
         let union = plan.iter().fold(ColorSet::empty(), |a, s| a.union(s));
         prop_assert_eq!(union, topo.all_colors());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn mcp_plans_are_wellformed(
-        profiles in prop::collection::vec(arb_profile(), 1..6),
-        topo in arb_topology(),
-    ) {
+#[test]
+fn mcp_plans_are_wellformed() {
+    let g = (vec_of(arb_profile(), 1..6), arb_topology());
+    check(Config::cases(64), &g, |(profiles, topo)| {
         let mut mcp = ChannelPartitioning::new(Default::default());
         let n = profiles.len();
         let plan = mcp.partition(&profiles, &topo, None);
-        check_plan_wellformed(&plan, &topo, n);
+        check_plan_wellformed(&plan, &topo, n)?;
         // MCP allocates whole channels: each thread's set is a union of
         // complete channels.
         for s in &plan {
@@ -114,17 +120,19 @@ proptest! {
                 );
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn unpartitioned_always_grants_everything(
-        profiles in prop::collection::vec(arb_profile(), 1..6),
-        topo in arb_topology(),
-    ) {
+#[test]
+fn unpartitioned_always_grants_everything() {
+    let g = (vec_of(arb_profile(), 1..6), arb_topology());
+    check(Config::cases(64), &g, |(profiles, topo)| {
         let mut u = Unpartitioned;
         let plan = u.partition(&profiles, &topo, None);
         for s in &plan {
             prop_assert_eq!(*s, topo.all_colors());
         }
-    }
+        Ok(())
+    });
 }
