@@ -10,5 +10,18 @@ set -eux
 
 cargo build --release --offline --locked --workspace
 cargo test -q --offline --locked --workspace
+cargo clippy --offline --locked --workspace -- -D warnings
 cargo check --benches --offline --locked --workspace
-DBP_BENCH_ITERS=2 DBP_BENCH_WARMUP=0 cargo bench -q --offline --locked -p dbp-bench --bench micro
+# Benches run with the package dir as cwd, so hand them an absolute path.
+DBP_BENCH_ITERS=2 DBP_BENCH_WARMUP=0 DBP_BENCH_JSON="$(pwd)/BENCH_results.json" \
+    cargo bench -q --offline --locked -p dbp-bench --bench micro
+./target/release/jsonlint --require-key benchmarks BENCH_results.json
+
+# Telemetry smoke test: a tiny traced run must produce machine-readable
+# exports that the in-tree JSON parser accepts.
+./target/release/dbpsim run --bench mcf,povray \
+    --instructions 30000 --warmup 10000 --epoch 20000 --policy dbp \
+    --trace-out target/ci-trace.json --metrics-out target/ci-metrics.json \
+    > /dev/null
+./target/release/jsonlint --require-key traceEvents target/ci-trace.json
+./target/release/jsonlint --require-key epochs --require-key events target/ci-metrics.json

@@ -429,8 +429,9 @@ pub fn abl2_grouping(cfg: &SimConfig) -> Table {
 /// Ablation 3: migration cost model (free vs charged, budget sizes,
 /// lazy vs eager).
 pub fn abl3_migration(cfg: &SimConfig) -> Table {
+    type Tweak = Box<dyn Fn(&mut SimConfig)>;
     let mut t = Table::new(["variant", "WS", "MS", "note"]);
-    let variants: Vec<(&str, Box<dyn Fn(&mut SimConfig)>)> = vec![
+    let variants: Vec<(&str, Tweak)> = vec![
         ("free", Box::new(|c: &mut SimConfig| c.migration_cost = MigrationCost::Free)),
         ("charged, budget 32", Box::new(|c| c.migration_budget_pages = Some(32))),
         ("charged, budget 128", Box::new(|_| {})),

@@ -306,7 +306,6 @@ mod tests {
             c.tick(now, &mut mem);
         }
         assert_eq!(c.retired(), 0);
-        drop(mem);
         for id in ids {
             c.complete(id);
         }
@@ -417,7 +416,6 @@ mod prop_tests {
                 }
             };
             core.tick(now, &mut mem);
-            drop(mem);
             pending.extend(issued);
             // Randomly complete one pending load.
             if now % 7 == 0 {

@@ -165,15 +165,13 @@ mod tests {
 
     #[test]
     fn rejects_non_power_of_two() {
-        let mut c = DramConfig::default();
-        c.banks_per_rank = 6;
+        let c = DramConfig { banks_per_rank: 6, ..Default::default() };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn rejects_row_smaller_than_page() {
-        let mut c = DramConfig::default();
-        c.row_bytes = 2048;
+        let c = DramConfig { row_bytes: 2048, ..Default::default() };
         assert!(c.validate().is_err());
     }
 }

@@ -130,9 +130,7 @@ mod tests {
 
     #[test]
     fn rank_switch_adds_penalty() {
-        let mut ch = ChannelState::default();
-        ch.data_free_at = 10;
-        ch.last_data_rank = Some(0);
+        let ch = ChannelState { data_free_at: 10, last_data_rank: Some(0), ..Default::default() };
         assert_eq!(ch.data_start(0, 2), 10);
         assert_eq!(ch.data_start(1, 2), 12);
     }

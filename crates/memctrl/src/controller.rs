@@ -119,6 +119,12 @@ impl MemoryController {
         self.sched.name()
     }
 
+    /// Forward a telemetry recorder to the scheduler so it can emit
+    /// decision events (e.g. TCM clusterings).
+    pub fn attach_recorder(&mut self, rec: dbp_obs::Recorder) {
+        self.sched.attach_recorder(rec);
+    }
+
     /// Profiling state (shared with partitioning policies).
     pub fn prof(&self) -> &ProfilerState {
         &self.prof

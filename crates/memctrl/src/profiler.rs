@@ -359,4 +359,30 @@ mod tests {
         p.on_read_complete(0, 200);
         assert!((p.epoch(0).avg_read_latency() - 150.0).abs() < 1e-12);
     }
+
+    #[test]
+    fn zero_denominators_yield_zero_not_nan() {
+        // Misses without retired instructions (a thread stalled the whole
+        // epoch): MPKI must be 0.0, not a division by zero.
+        let stalled = ThreadProf { reads: 50, row_misses: 50, ..ThreadProf::default() };
+        assert_eq!(stalled.mpki(), 0.0);
+        assert!(stalled.mpki().is_finite());
+
+        // BLP pressure recorded but never sampled (epoch ended between
+        // enqueue and the first sample tick).
+        let unsampled = ThreadProf { blp_accum: 7, ..ThreadProf::default() };
+        assert_eq!(unsampled.blp(), 0.0);
+        assert!(unsampled.blp().is_finite());
+
+        // No serviced reads at all: RBL has no classified accesses.
+        let idle = ThreadProf { instructions: 10_000, ..ThreadProf::default() };
+        assert_eq!(idle.rbl(), 0.0);
+        assert!(idle.rbl().is_finite());
+
+        // Latency accumulated but no read completed (in-flight at epoch
+        // boundary): average latency must stay finite.
+        let in_flight = ThreadProf { read_latency_sum: 400, ..ThreadProf::default() };
+        assert_eq!(in_flight.avg_read_latency(), 0.0);
+        assert!(in_flight.avg_read_latency().is_finite());
+    }
 }

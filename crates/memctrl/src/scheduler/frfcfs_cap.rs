@@ -71,7 +71,7 @@ impl Scheduler for FrFcfsCap {
     ) {
         // Streaks decay every few hundred cycles so a bank is not capped
         // forever after a burst.
-        if now % 256 == 0 {
+        if now.is_multiple_of(256) {
             for s in self.streaks.values_mut() {
                 *s = s.saturating_sub(1);
             }

@@ -68,6 +68,7 @@ pub struct Tcm {
     prev: Vec<ThreadProf>,
     next_quantum: Cycle,
     next_shuffle: Cycle,
+    rec: dbp_obs::Recorder,
 }
 
 impl Tcm {
@@ -85,6 +86,7 @@ impl Tcm {
             prev: vec![ThreadProf::default(); threads],
             next_quantum: cfg.quantum,
             next_shuffle: cfg.shuffle_interval,
+            rec: dbp_obs::Recorder::disabled(),
         }
     }
 
@@ -170,6 +172,12 @@ impl Tcm {
         bw.sort_by_key(|&t| (std::cmp::Reverse(niceness[t]), t));
         self.bw_order = bw;
         self.rebuild_ranks(&ls);
+        if self.rec.is_enabled() {
+            self.rec.emit(dbp_obs::EventKind::TcmCluster {
+                latency: ls,
+                bandwidth: self.bw_order.clone(),
+            });
+        }
     }
 
     fn rebuild_ranks(&mut self, ls: &[usize]) {
@@ -195,6 +203,10 @@ impl Tcm {
             for (i, &t) in self.bw_order.iter().enumerate() {
                 self.rank_of[t] = base + i as u32;
             }
+            if self.rec.is_enabled() {
+                self.rec
+                    .emit(dbp_obs::EventKind::TcmShuffle { order: self.bw_order.clone() });
+            }
         }
     }
 }
@@ -202,6 +214,10 @@ impl Tcm {
 impl Scheduler for Tcm {
     fn name(&self) -> &'static str {
         "TCM"
+    }
+
+    fn attach_recorder(&mut self, rec: dbp_obs::Recorder) {
+        self.rec = rec;
     }
 
     fn tick(&mut self, now: Cycle, prof: &ProfilerState, _read_queues: &[Vec<MemRequest>]) {

@@ -1,0 +1,66 @@
+//! Strict JSON validator over the in-tree parser, used by `ci.sh` to
+//! check exported trace/metrics files without any external tooling.
+//!
+//! Usage: `jsonlint <file>...` — exits 0 if every file parses, 1
+//! otherwise. `--require-key K` additionally demands a top-level object
+//! key `K` in every file (e.g. `traceEvents` for Chrome traces).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut required_keys: Vec<String> = Vec::new();
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--require-key" => match args.next() {
+                Some(k) => required_keys.push(k),
+                None => {
+                    eprintln!("jsonlint: --require-key needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "-h" | "--help" => {
+                println!("usage: jsonlint [--require-key K]... <file>...");
+                return ExitCode::SUCCESS;
+            }
+            _ => files.push(a),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: jsonlint [--require-key K]... <file>...");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("jsonlint: {file}: {e}");
+                ok = false;
+                continue;
+            }
+        };
+        match dbp_obs::json::parse(&text) {
+            Ok(doc) => {
+                let mut missing = false;
+                for k in &required_keys {
+                    if doc.get(k).is_none() {
+                        eprintln!("jsonlint: {file}: missing required key {k:?}");
+                        missing = true;
+                    }
+                }
+                if missing {
+                    ok = false;
+                } else {
+                    println!("jsonlint: {file}: ok ({} bytes)", text.len());
+                }
+            }
+            Err(e) => {
+                eprintln!("jsonlint: {file}: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE }
+}

@@ -1,0 +1,263 @@
+//! Export captured telemetry as machine-readable documents.
+//!
+//! Two formats are produced from the same [`Telemetry`]:
+//!
+//! * a **metrics document** — run summary + the full epoch time series +
+//!   the event log, meant for scripted analysis (plotting Fig. 3-style
+//!   demand convergence, counting repartitions, ...);
+//! * a **Chrome `trace_event` document** — loadable in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>, with instant events
+//!   for every trace event and counter tracks for the epoch metrics.
+//!   Timestamps are CPU cycles reported in the `ts` microsecond field,
+//!   i.e. the UI's "microsecond" axis reads in cycles.
+
+use crate::event::TraceEvent;
+use crate::json::Json;
+use crate::recorder::{EpochSample, Telemetry};
+
+/// Format version stamped into both documents so downstream tooling can
+/// detect schema changes across PRs.
+pub const FORMAT_VERSION: u64 = 1;
+
+fn event_json(ev: &TraceEvent) -> Json {
+    let mut pairs = vec![
+        ("name".to_string(), Json::str(ev.kind.name())),
+        ("cycle".to_string(), Json::uint(ev.cycle)),
+    ];
+    if let Some(t) = ev.kind.thread() {
+        pairs.push(("thread".to_string(), Json::uint(t as u64)));
+    }
+    pairs.push(("args".to_string(), ev.kind.args_json()));
+    Json::Obj(pairs)
+}
+
+fn epoch_json(s: &EpochSample) -> Json {
+    Json::obj([
+        ("epoch", Json::uint(s.epoch)),
+        ("cycle", Json::uint(s.cycle)),
+        ("queue_depth", Json::uint(s.queue_depth)),
+        ("row_hit_rate", Json::num(s.row_hit_rate)),
+        ("bus_utilisation", Json::num(s.bus_utilisation)),
+        (
+            "threads",
+            Json::arr(s.threads.iter().map(|t| {
+                Json::obj([
+                    ("mpki", Json::num(t.mpki)),
+                    ("rbl", Json::num(t.rbl)),
+                    ("blp", Json::num(t.blp)),
+                    ("reads", Json::uint(t.reads)),
+                    ("avg_read_latency", Json::num(t.avg_read_latency)),
+                ])
+            })),
+        ),
+    ])
+}
+
+/// Build the metrics document. `summary` is caller-provided run context
+/// (config, end-of-run aggregates) and is embedded verbatim.
+pub fn metrics_document(t: &Telemetry, summary: Json) -> Json {
+    Json::obj([
+        ("format_version", Json::uint(FORMAT_VERSION)),
+        ("summary", summary),
+        ("epochs", Json::arr(t.series.iter().map(epoch_json))),
+        ("events", Json::arr(t.events.iter().map(event_json))),
+        ("dropped_events", Json::uint(t.dropped_events)),
+    ])
+}
+
+/// `trace_event` instant ("i") event on the process/thread rows.
+fn chrome_instant(ev: &TraceEvent) -> Json {
+    Json::obj([
+        ("name", Json::str(ev.kind.name())),
+        ("ph", Json::str("i")),
+        ("s", Json::str("t")),
+        ("ts", Json::uint(ev.cycle)),
+        ("pid", Json::uint(0)),
+        // Thread-scoped events land on row `thread + 1`; global ones on 0.
+        ("tid", Json::uint(ev.kind.thread().map_or(0, |t| t as u64 + 1))),
+        ("args", ev.kind.args_json()),
+    ])
+}
+
+/// `trace_event` counter ("C") sample: one named counter track whose
+/// series are the object's key/value pairs.
+fn chrome_counter(name: &str, cycle: u64, series: Vec<(String, Json)>) -> Json {
+    Json::obj([
+        ("name", Json::str(name)),
+        ("ph", Json::str("C")),
+        ("ts", Json::uint(cycle)),
+        ("pid", Json::uint(0)),
+        ("args", Json::Obj(series)),
+    ])
+}
+
+/// Per-thread series for one metric, keys `t0`, `t1`, ...
+fn thread_series(s: &EpochSample, f: impl Fn(&crate::recorder::ThreadSample) -> f64) -> Vec<(String, Json)> {
+    s.threads.iter().enumerate().map(|(i, t)| (format!("t{i}"), Json::num(f(t)))).collect()
+}
+
+/// Build a Chrome `trace_event`-format document (`{"traceEvents": [...]}`).
+pub fn chrome_trace(t: &Telemetry) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+    // Name the rows so Perfetto shows "thread 0" instead of bare tids.
+    let max_thread = t
+        .events
+        .iter()
+        .filter_map(|e| e.kind.thread())
+        .chain(t.series.iter().map(|s| s.threads.len().saturating_sub(1)))
+        .max();
+    events.push(Json::obj([
+        ("name", Json::str("process_name")),
+        ("ph", Json::str("M")),
+        ("pid", Json::uint(0)),
+        ("args", Json::obj([("name", Json::str("dbpsim"))])),
+    ]));
+    for tid in 0..=max_thread.map_or(0, |m| m as u64 + 1) {
+        let label = if tid == 0 { "sim".to_string() } else { format!("thread {}", tid - 1) };
+        events.push(Json::obj([
+            ("name", Json::str("thread_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::uint(0)),
+            ("tid", Json::uint(tid)),
+            ("args", Json::obj([("name", Json::str(label))])),
+        ]));
+    }
+    for ev in &t.events {
+        events.push(chrome_instant(ev));
+    }
+    for s in &t.series {
+        events.push(chrome_counter("mpki", s.cycle, thread_series(s, |t| t.mpki)));
+        events.push(chrome_counter("row_buffer_locality", s.cycle, thread_series(s, |t| t.rbl)));
+        events.push(chrome_counter("bank_level_parallelism", s.cycle, thread_series(s, |t| t.blp)));
+        events.push(chrome_counter(
+            "queue_depth",
+            s.cycle,
+            vec![("requests".to_string(), Json::uint(s.queue_depth))],
+        ));
+        events.push(chrome_counter(
+            "row_hit_rate",
+            s.cycle,
+            vec![("rate".to_string(), Json::num(s.row_hit_rate))],
+        ));
+        events.push(chrome_counter(
+            "bus_utilisation",
+            s.cycle,
+            vec![("fraction".to_string(), Json::num(s.bus_utilisation))],
+        ));
+    }
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::str("ns")),
+        ("otherData", Json::obj([("clock", Json::str("cpu_cycles"))])),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, MigrationCause};
+    use crate::json;
+    use crate::recorder::{Recorder, RecorderConfig, ThreadSample};
+
+    fn sample_telemetry() -> Telemetry {
+        let r = Recorder::new(RecorderConfig::default());
+        r.set_cycle(1_000_000);
+        r.emit(EventKind::EpochStart { epoch: 0 });
+        r.emit(EventKind::ThreadProfile { thread: 0, mpki: 12.5, rbl: 0.8, blp: 2.4 });
+        r.emit(EventKind::RepartitionPlan {
+            epoch: 0,
+            plan: vec!["t0:{0,1}".to_string(), "t1:{2,3}".to_string()],
+            changed_threads: vec![1],
+        });
+        r.emit(EventKind::PageMigration {
+            thread: 1,
+            vpn: 77,
+            old_frame: 3,
+            new_frame: 9,
+            cause: MigrationCause::Lazy,
+        });
+        r.sample(EpochSample {
+            epoch: 0,
+            cycle: 1_000_000,
+            queue_depth: 5,
+            row_hit_rate: 0.6,
+            bus_utilisation: 0.3,
+            threads: vec![
+                ThreadSample { mpki: 12.5, rbl: 0.8, blp: 2.4, reads: 100, avg_read_latency: 210.0 },
+                ThreadSample { mpki: 0.0, rbl: 0.0, blp: 0.0, reads: 0, avg_read_latency: 0.0 },
+            ],
+        });
+        r.snapshot()
+    }
+
+    #[test]
+    fn metrics_document_round_trips_and_has_samples() {
+        let t = sample_telemetry();
+        let doc = metrics_document(&t, Json::obj([("policy", Json::str("dbp"))]));
+        let text = doc.to_json();
+        let back = json::parse(&text).expect("metrics doc must be valid JSON");
+        assert_eq!(back.get("format_version").and_then(Json::as_num), Some(1.0));
+        assert_eq!(
+            back.get("summary").and_then(|s| s.get("policy")).and_then(Json::as_str),
+            Some("dbp")
+        );
+        let epochs = back.get("epochs").and_then(Json::as_arr).unwrap();
+        assert_eq!(epochs.len(), 1);
+        let threads = epochs[0].get("threads").and_then(Json::as_arr).unwrap();
+        assert_eq!(threads.len(), 2);
+        assert_eq!(threads[0].get("mpki").and_then(Json::as_num), Some(12.5));
+        let events = back.get("events").and_then(Json::as_arr).unwrap();
+        assert_eq!(events.len(), 4);
+        // Thread-scoped event carries its thread id at top level.
+        assert_eq!(events[3].get("thread").and_then(Json::as_num), Some(1.0));
+        assert_eq!(
+            events[3].get("args").and_then(|a| a.get("cause")).and_then(Json::as_str),
+            Some("lazy")
+        );
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_trace_event_json() {
+        let t = sample_telemetry();
+        let doc = chrome_trace(&t);
+        let back = json::parse(&doc.to_json()).expect("chrome trace must be valid JSON");
+        let events = back.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // Every entry needs name + ph; instants need ts.
+        for e in events {
+            assert!(e.get("name").and_then(Json::as_str).is_some());
+            let ph = e.get("ph").and_then(Json::as_str).unwrap();
+            assert!(matches!(ph, "i" | "C" | "M"), "unexpected phase {ph}");
+            if ph != "M" {
+                assert!(e.get("ts").and_then(Json::as_num).is_some());
+            }
+        }
+        // 4 instants, 6 counters per epoch, plus metadata rows.
+        let instants = events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("i"));
+        assert_eq!(instants.count(), 4);
+        let counters: Vec<_> =
+            events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("C")).collect();
+        assert_eq!(counters.len(), 6);
+        let mpki = counters.iter().find(|e| e.get("name").and_then(Json::as_str) == Some("mpki"));
+        let args = mpki.unwrap().get("args").unwrap();
+        assert_eq!(args.get("t0").and_then(Json::as_num), Some(12.5));
+        assert_eq!(args.get("t1").and_then(Json::as_num), Some(0.0));
+        // Thread rows are named for Perfetto.
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+            .map(|e| e.get("args").unwrap().get("name").and_then(Json::as_str).unwrap())
+            .collect();
+        assert!(names.contains(&"sim"));
+        assert!(names.contains(&"thread 1"));
+    }
+
+    #[test]
+    fn empty_telemetry_exports_cleanly() {
+        let t = Telemetry::default();
+        let m = metrics_document(&t, Json::Obj(Vec::new()));
+        assert!(json::parse(&m.to_json()).is_ok());
+        let c = chrome_trace(&t);
+        let back = json::parse(&c.to_json()).unwrap();
+        assert!(back.get("traceEvents").and_then(Json::as_arr).is_some());
+    }
+}

@@ -1,0 +1,26 @@
+//! `dbp-obs` — the zero-dependency telemetry substrate of the simulator.
+//!
+//! Three pieces, layered bottom-up:
+//!
+//! * [`json`] — a minimal order-preserving JSON model with a strict
+//!   RFC 8259 parser and a writer (non-finite floats serialise as
+//!   `null`, matching `JSON.stringify`);
+//! * [`event`] + [`recorder`] — the typed event taxonomy and the
+//!   cheap-clone [`Recorder`] handle the whole stack emits into. A
+//!   disabled recorder reduces every call to a `None` check, so
+//!   instrumentation never perturbs the simulation;
+//! * [`export`] — renders captured [`Telemetry`] as a metrics JSON
+//!   document and a Chrome `trace_event` file for
+//!   `chrome://tracing` / Perfetto.
+//!
+//! The crate intentionally depends on nothing else in the workspace (or
+//! outside it) so any layer can use it without cycles.
+
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod recorder;
+
+pub use event::{EventKind, MigrationCause, TraceEvent};
+pub use json::Json;
+pub use recorder::{EpochSample, Recorder, RecorderConfig, Telemetry, ThreadSample};

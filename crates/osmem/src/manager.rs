@@ -71,6 +71,7 @@ pub struct MemoryManager {
     /// Remaining migrations until the next [`MemoryManager::refill_migration_budget`].
     /// `None` = unlimited.
     migration_budget: Option<u64>,
+    rec: dbp_obs::Recorder,
 }
 
 impl MemoryManager {
@@ -93,7 +94,14 @@ impl MemoryManager {
             mode,
             stats: OsStats::default(),
             migration_budget: None,
+            rec: dbp_obs::Recorder::disabled(),
         }
+    }
+
+    /// Hand the manager a telemetry recorder: every allocation fallback
+    /// and page migration (with its cause) is emitted as an event.
+    pub fn attach_recorder(&mut self, rec: dbp_obs::Recorder) {
+        self.rec = rec;
     }
 
     /// Limit migrations until the next refill. A real migration daemon is
@@ -105,11 +113,12 @@ impl MemoryManager {
 
     /// Consume one unit of migration budget; `false` means the migration
     /// must be deferred.
-    fn take_budget(&mut self) -> bool {
+    fn take_budget(&mut self, thread: ThreadId) -> bool {
         match &mut self.migration_budget {
             None => true,
             Some(0) => {
                 self.stats.deferred_migrations += 1;
+                self.rec.emit(dbp_obs::EventKind::MigrationDeferred { thread });
                 false
             }
             Some(b) => {
@@ -149,7 +158,7 @@ impl MemoryManager {
         self.tables[thread].resident_pages()
     }
 
-    fn alloc_for(&mut self, thread: ThreadId) -> Frame {
+    fn alloc_for(&mut self, thread: ThreadId, vpn: Vpn) -> Frame {
         if let Some(f) = self.allocator.alloc(&self.partitions[thread]) {
             self.stats.allocations += 1;
             return f;
@@ -157,6 +166,7 @@ impl MemoryManager {
         // Partition exhausted: a real OS spills rather than OOM-killing.
         self.stats.allocations += 1;
         self.stats.fallback_allocations += 1;
+        self.rec.emit(dbp_obs::EventKind::FallbackAlloc { thread, vpn });
         self.allocator
             .alloc(&ColorSet::all(self.allocator.num_colors()))
             .expect("physical memory exhausted")
@@ -170,11 +180,18 @@ impl MemoryManager {
         let offset = vaddr & ((1 << self.page_bits) - 1);
         if let Some(frame) = self.tables[thread].translate(vpn) {
             let violates = !self.partitions[thread].contains(self.allocator.color_of(frame));
-            if violates && self.mode == MigrationMode::Lazy && self.take_budget() {
+            if violates && self.mode == MigrationMode::Lazy && self.take_budget(thread) {
                 if let Some(new_frame) = self.allocator.alloc(&self.partitions[thread]) {
                     self.allocator.free(frame);
                     self.tables[thread].map(vpn, new_frame);
                     self.stats.migrated_pages += 1;
+                    self.rec.emit(dbp_obs::EventKind::PageMigration {
+                        thread,
+                        vpn,
+                        old_frame: frame,
+                        new_frame,
+                        cause: dbp_obs::MigrationCause::Lazy,
+                    });
                     return Translation {
                         pa: (new_frame << self.page_bits) | offset,
                         allocated: false,
@@ -187,6 +204,7 @@ impl MemoryManager {
                     };
                 }
                 self.stats.failed_migrations += 1;
+                self.rec.emit(dbp_obs::EventKind::MigrationFailed { thread });
             }
             return Translation {
                 pa: (frame << self.page_bits) | offset,
@@ -194,7 +212,7 @@ impl MemoryManager {
                 migration: None,
             };
         }
-        let frame = self.alloc_for(thread);
+        let frame = self.alloc_for(thread, vpn);
         self.tables[thread].map(vpn, frame);
         Translation {
             pa: (frame << self.page_bits) | offset,
@@ -225,7 +243,7 @@ impl MemoryManager {
         violating.sort_unstable(); // page tables hash-iterate nondeterministically
         let mut jobs = Vec::with_capacity(violating.len());
         for (vpn, old_frame) in violating {
-            if !self.take_budget() {
+            if !self.take_budget(thread) {
                 break;
             }
             match self.allocator.alloc(&colors) {
@@ -233,10 +251,18 @@ impl MemoryManager {
                     self.allocator.free(old_frame);
                     self.tables[thread].map(vpn, new_frame);
                     self.stats.migrated_pages += 1;
+                    self.rec.emit(dbp_obs::EventKind::PageMigration {
+                        thread,
+                        vpn,
+                        old_frame,
+                        new_frame,
+                        cause: dbp_obs::MigrationCause::Eager,
+                    });
                     jobs.push(MigrationJob { thread, vpn, old_frame, new_frame });
                 }
                 None => {
                     self.stats.failed_migrations += 1;
+                    self.rec.emit(dbp_obs::EventKind::MigrationFailed { thread });
                 }
             }
         }
@@ -275,7 +301,7 @@ impl MemoryManager {
         let mut jobs = Vec::new();
         for k in 0..colors.len() {
             while buckets[k].len() > target + slack {
-                if !self.take_budget() {
+                if !self.take_budget(thread) {
                     return jobs;
                 }
                 // Receive into the least-loaded color with a free frame.
@@ -296,6 +322,13 @@ impl MemoryManager {
                 self.allocator.free(old_frame);
                 self.tables[thread].map(vpn, new_frame);
                 self.stats.migrated_pages += 1;
+                self.rec.emit(dbp_obs::EventKind::PageMigration {
+                    thread,
+                    vpn,
+                    old_frame,
+                    new_frame,
+                    cause: dbp_obs::MigrationCause::Rebalance,
+                });
                 buckets[dest].push((vpn, new_frame));
                 jobs.push(MigrationJob { thread, vpn, old_frame, new_frame });
             }
@@ -326,8 +359,16 @@ impl MemoryManager {
                     self.allocator.free(old_frame);
                     self.tables[thread].map(vpn, new_frame);
                     moved += 1;
+                    self.rec.emit(dbp_obs::EventKind::PageMigration {
+                        thread,
+                        vpn,
+                        old_frame,
+                        new_frame,
+                        cause: dbp_obs::MigrationCause::Conform,
+                    });
                 } else {
                     self.stats.failed_migrations += 1;
+                    self.rec.emit(dbp_obs::EventKind::MigrationFailed { thread });
                 }
             }
             moved += self.rebalance_thread(thread).len() as u64;

@@ -4,8 +4,7 @@ use dbp_sim::{runner, SimConfig};
 use dbp_workloads::mixes_4core;
 
 fn main() {
-    let mut cfg = SimConfig::default();
-    cfg.policy = PolicyKind::Dbp(Default::default());
+    let cfg = SimConfig { policy: PolicyKind::Dbp(Default::default()), ..Default::default() };
     let idx: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
     let mix = &mixes_4core()[idx];
     let run = runner::run_shared(&cfg, mix);

@@ -39,11 +39,13 @@ impl DramActivity {
     /// Energy in nanojoules under `model`.
     pub fn energy_nj(&self, model: &dbp_dram::EnergyModel) -> f64 {
         // Rebuild a DramStats shell for the model's accounting.
-        let mut stats = dbp_dram::DramStats::default();
-        stats.activates = self.activates;
-        stats.reads = self.reads;
-        stats.writes = self.writes;
-        stats.refreshes = self.refreshes;
+        let stats = dbp_dram::DramStats {
+            activates: self.activates,
+            reads: self.reads,
+            writes: self.writes,
+            refreshes: self.refreshes,
+            ..Default::default()
+        };
         model.total_nj(&stats, self.elapsed)
     }
 }

@@ -78,6 +78,16 @@ pub fn run_shared(cfg: &SimConfig, mix: &Mix) -> RunResult {
     sys.run()
 }
 
+/// [`run_shared`], emitting telemetry into `rec`. The recorder only
+/// observes: with a disabled recorder this is byte-identical to
+/// [`run_shared`] (the determinism suite asserts it for an enabled one
+/// too).
+pub fn run_shared_recorded(cfg: &SimConfig, mix: &Mix, rec: dbp_obs::Recorder) -> RunResult {
+    let traces = (0..mix.cores()).map(|i| trace_for(mix, i)).collect();
+    let mut sys = System::with_recorder(cfg.clone(), traces, rec);
+    sys.run()
+}
+
 /// Alone runs + shared run + metrics in one call.
 pub fn run_mix(cfg: &SimConfig, mix: &Mix) -> MixRun {
     let alone = alone_ipcs(cfg, mix);
@@ -88,6 +98,15 @@ pub fn run_mix(cfg: &SimConfig, mix: &Mix) -> MixRun {
 /// depend on the scheduler/policy under test, so sweeps share them).
 pub fn run_mix_with_alone(cfg: &SimConfig, mix: &Mix, alone_ipcs: Vec<f64>) -> MixRun {
     let shared = run_shared(cfg, mix);
+    let metrics = MixMetrics::new(&alone_ipcs, &shared.ipcs());
+    MixRun { mix_name: mix.name, alone_ipcs, shared, metrics }
+}
+
+/// [`run_mix`], with the *shared* run emitting telemetry into `rec`
+/// (alone runs are calibration, not the experiment, so they stay silent).
+pub fn run_mix_recorded(cfg: &SimConfig, mix: &Mix, rec: dbp_obs::Recorder) -> MixRun {
+    let alone_ipcs = alone_ipcs(cfg, mix);
+    let shared = run_shared_recorded(cfg, mix, rec);
     let metrics = MixMetrics::new(&alone_ipcs, &shared.ipcs());
     MixRun { mix_name: mix.name, alone_ipcs, shared, metrics }
 }

@@ -8,6 +8,7 @@ use dbp_core::{ColorTopology, ThreadMemProfile};
 use dbp_cpu::{Core, MemIssue, TraceSource};
 use dbp_dram::DramStats;
 use dbp_memctrl::{Completion, MemRequest, MemoryController, ThreadProf};
+use dbp_obs::{EpochSample, EventKind, Recorder, RecorderConfig, ThreadSample};
 use dbp_osmem::{ColorSet, MemoryManager, MigrationJob, OsStats};
 
 use crate::config::{MigrationCost, SimConfig};
@@ -53,6 +54,7 @@ pub struct System {
     dram_base: Option<DramStats>,
     os_base: OsStats,
     sys_base: SysStats,
+    rec: Recorder,
 }
 
 impl std::fmt::Debug for System {
@@ -72,12 +74,37 @@ impl System {
     ///
     /// Panics if `traces` is empty or the configuration is invalid.
     pub fn new(cfg: SimConfig, traces: Vec<Box<dyn TraceSource>>) -> Self {
+        // Back-compat: DBP_TRACE_PLAN used to switch on an ad-hoc eprintln
+        // dump of each epoch's profiles and plan; it now enables a recorder
+        // that pretty-prints the same (structured) events to stderr.
+        let rec = if std::env::var_os("DBP_TRACE_PLAN").is_some() {
+            Recorder::new(RecorderConfig { stderr_echo: true, ..Default::default() })
+        } else {
+            Recorder::disabled()
+        };
+        Self::with_recorder(cfg, traces, rec)
+    }
+
+    /// Build a system that emits telemetry into `rec` (see [`dbp_obs`]).
+    /// The recorder handle is cloned into every instrumented layer:
+    /// policy, OS memory manager, and memory scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty or the configuration is invalid.
+    pub fn with_recorder(
+        cfg: SimConfig,
+        traces: Vec<Box<dyn TraceSource>>,
+        rec: Recorder,
+    ) -> Self {
         cfg.validate().expect("invalid SimConfig");
         assert!(!traces.is_empty(), "at least one trace required");
         let n = traces.len();
         let topo = ColorTopology::from_dram(&cfg.dram);
         let mut policy = cfg.policy.build();
+        policy.attach_recorder(rec.clone());
         let mut osmem = MemoryManager::new(&cfg.dram, n, cfg.migration_mode);
+        osmem.attach_recorder(rec.clone());
         // Install the policy's cold-start plan before any page is touched,
         // so static policies (equal split) are in force from cycle 0.
         let cold = vec![ThreadMemProfile::default(); n];
@@ -86,7 +113,8 @@ impl System {
             osmem.set_partition(t, *colors);
         }
         let dram = dbp_dram::Dram::new(cfg.dram.clone());
-        let ctrl = MemoryController::new(dram, cfg.ctrl, cfg.scheduler.build(n), n);
+        let mut ctrl = MemoryController::new(dram, cfg.ctrl, cfg.scheduler.build(n), n);
+        ctrl.attach_recorder(rec.clone());
         System {
             cores: traces.into_iter().map(|t| Core::new(cfg.core, t)).collect(),
             caches: (0..n).map(|_| Hierarchy::new(cfg.hierarchy)).collect(),
@@ -112,7 +140,14 @@ impl System {
             policy,
             topo,
             cfg,
+            rec,
         }
+    }
+
+    /// The telemetry recorder this system emits into (disabled unless
+    /// built via [`System::with_recorder`] or `DBP_TRACE_PLAN`).
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
     }
 
     /// Number of cores.
@@ -194,6 +229,7 @@ impl System {
     /// Advance exactly one CPU cycle (exposed for tests and tooling).
     pub fn step(&mut self) {
         let cycle = self.cycle;
+        self.rec.set_cycle(cycle);
         if cycle.is_multiple_of(self.cfg.cpu_per_dram) {
             self.dram_tick(cycle / self.cfg.cpu_per_dram);
         }
@@ -347,7 +383,43 @@ impl System {
         self.feed_instructions();
         self.osmem
             .refill_migration_budget(self.cfg.migration_budget_pages);
+        let epoch = self.stats.repartitions;
         let snap = self.ctrl.prof_mut().take_epoch();
+        if self.rec.is_enabled() {
+            self.rec.emit(EventKind::EpochStart { epoch });
+            for (t, p) in snap.iter().enumerate() {
+                self.rec.emit(EventKind::ThreadProfile {
+                    thread: t,
+                    mpki: p.mpki(),
+                    rbl: p.rbl(),
+                    blp: p.blp(),
+                });
+            }
+            let epoch_dram_cycles = self.cfg.epoch_cpu_cycles / self.cfg.cpu_per_dram;
+            let (mut hits, mut rows) = (0u64, 0u64);
+            for p in &snap {
+                hits += p.row_hits;
+                rows += p.row_hits + p.row_misses + p.row_conflicts;
+            }
+            self.rec.sample(EpochSample {
+                epoch,
+                cycle: self.cycle,
+                queue_depth: self.ctrl.in_flight() as u64,
+                row_hit_rate: if rows == 0 { 0.0 } else { hits as f64 / rows as f64 },
+                bus_utilisation: snap.iter().map(|p| p.bus_cycles).sum::<u64>() as f64
+                    / epoch_dram_cycles.max(1) as f64,
+                threads: snap
+                    .iter()
+                    .map(|p| ThreadSample {
+                        mpki: p.mpki(),
+                        rbl: p.rbl(),
+                        blp: p.blp(),
+                        reads: p.reads,
+                        avg_read_latency: p.avg_read_latency(),
+                    })
+                    .collect(),
+            });
+        }
         let profiles: Vec<ThreadMemProfile> = snap
             .iter()
             .map(|p| ThreadMemProfile {
@@ -361,20 +433,15 @@ impl System {
         let plan = self
             .policy
             .partition(&profiles, &self.topo, self.last_plan.as_deref());
-        if std::env::var_os("DBP_TRACE_PLAN").is_some() {
-            eprintln!(
-                "[epoch @{}] profiles: {:?}",
-                self.cycle,
-                profiles
-                    .iter()
-                    .map(|p| format!("mpki={:.1} rbl={:.2} blp={:.2}", p.mpki, p.rbl, p.blp))
-                    .collect::<Vec<_>>()
-            );
-            eprintln!(
-                "[epoch @{}] plan: {}",
-                self.cycle,
-                plan.iter().map(ToString::to_string).collect::<Vec<_>>().join(" | ")
-            );
+        if self.rec.is_enabled() {
+            let changed_threads: Vec<usize> = (0..plan.len())
+                .filter(|&t| self.last_plan.as_ref().is_none_or(|lp| lp[t] != plan[t]))
+                .collect();
+            self.rec.emit(EventKind::RepartitionPlan {
+                epoch,
+                plan: plan.iter().map(ToString::to_string).collect(),
+                changed_threads,
+            });
         }
         for (t, colors) in plan.iter().enumerate() {
             let changed = self

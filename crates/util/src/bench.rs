@@ -10,6 +10,8 @@
 //!
 //! - `DBP_BENCH_ITERS`   — timed iterations per benchmark (default 30)
 //! - `DBP_BENCH_WARMUP`  — warmup iterations per benchmark (default 5)
+//! - `DBP_BENCH_JSON`    — also write the summaries as JSON to this file
+//!   (CI uses it to track the perf trajectory across PRs)
 //!
 //! ```no_run
 //! let mut r = dbp_util::bench::Runner::from_env();
@@ -160,9 +162,39 @@ impl Runner {
         out
     }
 
-    /// Print the report to stdout.
+    /// The summaries as a JSON document (one object per benchmark).
+    pub fn json_report(&self) -> dbp_obs::Json {
+        use dbp_obs::Json;
+        Json::obj([(
+            "benchmarks",
+            Json::arr(self.results.iter().map(|s| {
+                let mut pairs = vec![
+                    ("name".to_string(), Json::str(&s.name)),
+                    ("min_ns".to_string(), Json::uint(s.min_ns as u64)),
+                    ("median_ns".to_string(), Json::uint(s.median_ns as u64)),
+                    ("p95_ns".to_string(), Json::uint(s.p95_ns as u64)),
+                    ("elements".to_string(), Json::uint(s.elements)),
+                ];
+                if let Some(m) = s.melems_per_sec() {
+                    pairs.push(("melems_per_sec".to_string(), Json::num(m)));
+                }
+                Json::Obj(pairs)
+            })),
+        )])
+    }
+
+    /// Print the report to stdout; when `DBP_BENCH_JSON` names a file,
+    /// also write [`Runner::json_report`] there.
     pub fn finish(&self) {
         print!("{}", self.report());
+        if let Ok(path) = std::env::var("DBP_BENCH_JSON") {
+            if !path.trim().is_empty() {
+                match std::fs::write(&path, self.json_report().to_json()) {
+                    Ok(()) => eprintln!("bench: wrote JSON summaries to {path}"),
+                    Err(e) => eprintln!("bench: cannot write {path}: {e}"),
+                }
+            }
+        }
     }
 }
 
@@ -200,5 +232,20 @@ mod tests {
     #[test]
     fn env_override_parses() {
         assert_eq!(env_u32("DBP_BENCH_NO_SUCH_VAR", 17), 17);
+    }
+
+    #[test]
+    fn json_report_round_trips() {
+        let mut r = Runner::new(BenchConfig { warmup_iters: 0, iters: 3 });
+        r.bench("spin", 64, || std::hint::black_box(2u64 + 2));
+        r.bench("no_elements", 0, || ());
+        let text = r.json_report().to_json();
+        let doc = dbp_obs::json::parse(&text).expect("bench JSON must parse");
+        let benches = doc.get("benchmarks").and_then(|b| b.as_arr()).unwrap();
+        assert_eq!(benches.len(), 2);
+        assert_eq!(benches[0].get("name").and_then(|n| n.as_str()), Some("spin"));
+        assert!(benches[0].get("median_ns").and_then(|n| n.as_num()).is_some());
+        // elements = 0 -> no throughput key.
+        assert!(benches[1].get("melems_per_sec").is_none());
     }
 }

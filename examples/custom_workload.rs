@@ -40,11 +40,13 @@ fn main() {
         write_frac: 0.2,
     };
 
-    let mut cfg = SimConfig::default();
-    cfg.policy = PolicyKind::Dbp(Default::default());
-    cfg.warmup_instructions = 200_000;
-    cfg.target_instructions = 300_000;
-    cfg.epoch_cpu_cycles = 300_000;
+    let cfg = SimConfig {
+        policy: PolicyKind::Dbp(Default::default()),
+        warmup_instructions: 200_000,
+        target_instructions: 300_000,
+        epoch_cpu_cycles: 300_000,
+        ..Default::default()
+    };
 
     let traces: Vec<Box<dyn TraceSource>> = vec![
         Box::new(MyKernel { i: 0, chase: 0x1234_5678 }),

@@ -9,10 +9,12 @@ use dbp_repro::sim::{runner, SimConfig};
 use dbp_repro::workloads::Mix;
 
 fn main() {
-    let mut cfg = SimConfig::default();
-    cfg.warmup_instructions = 200_000;
-    cfg.target_instructions = 400_000;
-    cfg.epoch_cpu_cycles = 400_000;
+    let cfg = SimConfig {
+        warmup_instructions: 200_000,
+        target_instructions: 400_000,
+        epoch_cpu_cycles: 400_000,
+        ..Default::default()
+    };
 
     // libquantum-like: one sequential stream, ~97% row-buffer locality.
     // mcf-like: pointer-chasing, high bank-level parallelism.

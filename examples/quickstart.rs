@@ -9,13 +9,15 @@ use dbp_repro::workloads::mixes_4core;
 
 fn main() {
     // The Table 1 system: 4 cores, DDR3-1333, 2 channels x 8 banks.
-    let mut cfg = SimConfig::default();
-    cfg.scheduler = SchedulerKind::FrFcfs;
-    cfg.policy = PolicyKind::Dbp(Default::default());
-    // Keep the example snappy.
-    cfg.warmup_instructions = 200_000;
-    cfg.target_instructions = 400_000;
-    cfg.epoch_cpu_cycles = 400_000;
+    let cfg = SimConfig {
+        scheduler: SchedulerKind::FrFcfs,
+        policy: PolicyKind::Dbp(Default::default()),
+        // Keep the example snappy.
+        warmup_instructions: 200_000,
+        target_instructions: 400_000,
+        epoch_cpu_cycles: 400_000,
+        ..Default::default()
+    };
 
     // mix50-1: two memory-intensive applications (mcf-like, libquantum-
     // like) plus two compute-bound ones.

@@ -11,10 +11,12 @@ use dbp_repro::sim::{runner, SchedulerKind, SimConfig};
 use dbp_repro::workloads::mixes_4core;
 
 fn main() {
-    let mut cfg = SimConfig::default();
-    cfg.warmup_instructions = 200_000;
-    cfg.target_instructions = 400_000;
-    cfg.epoch_cpu_cycles = 400_000;
+    let cfg = SimConfig {
+        warmup_instructions: 200_000,
+        target_instructions: 400_000,
+        epoch_cpu_cycles: 400_000,
+        ..Default::default()
+    };
 
     let mix = &mixes_4core()[12]; // mix100-1: four intensive applications
     println!("mix {} = {:?}\n", mix.name, mix.benchmarks);

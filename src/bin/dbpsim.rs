@@ -14,7 +14,8 @@
 use std::process::ExitCode;
 
 use dbp_repro::dbp::policy::PolicyKind;
-use dbp_repro::sim::report::{f3, Table};
+use dbp_repro::obs::{export, Json, Recorder, RecorderConfig};
+use dbp_repro::sim::report::{f3, run_result_json, Table};
 use dbp_repro::sim::{runner, SchedulerKind, SimConfig};
 use dbp_repro::workloads::{mixes_4core, profiles, Mix};
 
@@ -40,7 +41,13 @@ OPTIONS (run / compare):
     --warmup <n>             Warmup instructions per thread    [default: 500000]
     --channels <n>           DRAM channels (power of two)      [default: 2]
     --banks <n>              Banks per rank (power of two)     [default: 8]
+    --epoch <cycles>         Repartitioning epoch, CPU cycles  [default: 1000000]
     --csv                    Emit CSV instead of an aligned table
+
+TELEMETRY (run only):
+    --trace-out <file>       Write a Chrome trace_event JSON of the shared
+                             run (open in chrome://tracing or ui.perfetto.dev)
+    --metrics-out <file>     Write per-epoch metrics + event log as JSON
 ";
 
 fn parse_policy(s: &str) -> Result<PolicyKind, String> {
@@ -78,7 +85,10 @@ struct Options {
     warmup: u64,
     channels: u32,
     banks: u32,
+    epoch: u64,
     csv: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 impl Default for Options {
@@ -92,7 +102,10 @@ impl Default for Options {
             warmup: 500_000,
             channels: 2,
             banks: 8,
+            epoch: 1_000_000,
             csv: false,
+            trace_out: None,
+            metrics_out: None,
         }
     }
 }
@@ -131,7 +144,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--banks: {e}"))?;
             }
+            "--epoch" => {
+                opts.epoch = value("--epoch")?
+                    .parse()
+                    .map_err(|e| format!("--epoch: {e}"))?;
+            }
             "--csv" => opts.csv = true,
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -166,13 +186,18 @@ fn resolve_mix(opts: &Options) -> Result<Mix, String> {
 }
 
 fn config_for(opts: &Options) -> Result<SimConfig, String> {
-    let mut cfg = SimConfig::default();
-    cfg.policy = opts.policy;
-    cfg.scheduler = opts.scheduler;
-    cfg.target_instructions = opts.instructions;
-    cfg.warmup_instructions = opts.warmup;
+    let mut cfg = SimConfig {
+        policy: opts.policy,
+        scheduler: opts.scheduler,
+        target_instructions: opts.instructions,
+        warmup_instructions: opts.warmup,
+        epoch_cpu_cycles: opts.epoch,
+        ..Default::default()
+    };
     cfg.dram.channels = opts.channels;
     cfg.dram.banks_per_rank = opts.banks;
+    // Instruction feeding must be at least as frequent as epochs.
+    cfg.instr_feed_interval = cfg.instr_feed_interval.min(opts.epoch);
     cfg.validate()?;
     Ok(cfg)
 }
@@ -223,7 +248,20 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
         cfg.scheduler.label(),
         cfg.policy.label(),
     );
-    let run = runner::run_mix(&cfg, &mix);
+    let telemetry_wanted = opts.trace_out.is_some() || opts.metrics_out.is_some();
+    let rec = if telemetry_wanted {
+        Recorder::new(RecorderConfig::default())
+    } else {
+        Recorder::disabled()
+    };
+    let run = if telemetry_wanted {
+        runner::run_mix_recorded(&cfg, &mix, rec.clone())
+    } else {
+        runner::run_mix(&cfg, &mix)
+    };
+    if telemetry_wanted {
+        write_telemetry(opts, &cfg, &mix, &run, &rec)?;
+    }
     let t = result_table(&mix, &run);
     if opts.csv {
         print!("{}", t.to_csv());
@@ -237,6 +275,45 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
         run.metrics.max_slowdown,
         run.shared.row_hit_rate * 100.0
     );
+    Ok(())
+}
+
+fn write_telemetry(
+    opts: &Options,
+    cfg: &SimConfig,
+    mix: &Mix,
+    run: &runner::MixRun,
+    rec: &Recorder,
+) -> Result<(), String> {
+    let telemetry = rec.snapshot();
+    if let Some(path) = &opts.trace_out {
+        let doc = export::chrome_trace(&telemetry);
+        std::fs::write(path, doc.to_json()).map_err(|e| format!("--trace-out {path}: {e}"))?;
+        eprintln!("wrote Chrome trace to {path} (open in chrome://tracing or ui.perfetto.dev)");
+    }
+    if let Some(path) = &opts.metrics_out {
+        let summary = Json::obj([
+            ("mix", Json::str(mix.name)),
+            (
+                "benchmarks",
+                Json::arr(mix.benchmarks.iter().map(|b| Json::str(*b))),
+            ),
+            ("policy", Json::str(cfg.policy.label())),
+            ("scheduler", Json::str(cfg.scheduler.label())),
+            ("weighted_speedup", Json::num(run.metrics.weighted_speedup)),
+            ("harmonic_speedup", Json::num(run.metrics.harmonic_speedup)),
+            ("max_slowdown", Json::num(run.metrics.max_slowdown)),
+            ("run", run_result_json(&run.shared)),
+        ]);
+        let doc = export::metrics_document(&telemetry, summary);
+        std::fs::write(path, doc.to_json())
+            .map_err(|e| format!("--metrics-out {path}: {e}"))?;
+        eprintln!(
+            "wrote metrics ({} epochs, {} events) to {path}",
+            telemetry.series.len(),
+            telemetry.events.len()
+        );
+    }
     Ok(())
 }
 

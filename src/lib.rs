@@ -11,6 +11,8 @@ pub use dbp_core as dbp;
 pub use dbp_cpu as cpu;
 pub use dbp_dram as dram;
 pub use dbp_memctrl as memctrl;
+pub use dbp_obs as obs;
 pub use dbp_osmem as osmem;
 pub use dbp_sim as sim;
+pub use dbp_util as util;
 pub use dbp_workloads as workloads;

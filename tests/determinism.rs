@@ -59,6 +59,30 @@ fn same_seed_reports_are_byte_identical() {
     );
 }
 
+/// Telemetry must observe, never perturb: a run with an enabled recorder
+/// attached is byte-identical to the same run without one. This is the
+/// contract that lets `--trace-out` be used on real experiments without
+/// invalidating them.
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    use dbp_repro::obs::{Recorder, RecorderConfig};
+
+    let mut cfg = SimConfig::fast_test();
+    cfg.warmup_instructions = 20_000;
+    cfg.target_instructions = 50_000;
+    cfg.policy = PolicyKind::Dbp(Default::default());
+    let mix = &mixes_4core()[5];
+
+    let silent = runner::run_shared(&cfg, mix);
+    let rec = Recorder::new(RecorderConfig::default());
+    let recorded = runner::run_shared_recorded(&cfg, mix, rec.clone());
+
+    assert_eq!(silent, recorded, "an enabled recorder must not change the run");
+    let t = rec.snapshot();
+    assert!(!t.events.is_empty(), "the recorder must actually have observed events");
+    assert!(!t.series.is_empty(), "the recorder must have sampled epoch metrics");
+}
+
 /// The in-tree xoshiro256++ PRNG must actually respond to its seed: the
 /// same (profile, seed) pair replays an identical op stream, while a
 /// different seed diverges.
