@@ -25,3 +25,16 @@ DBP_BENCH_ITERS=2 DBP_BENCH_WARMUP=0 DBP_BENCH_JSON="$(pwd)/BENCH_results.json" 
     > /dev/null
 ./target/release/jsonlint --require-key traceEvents target/ci-trace.json
 ./target/release/jsonlint --require-key epochs --require-key events target/ci-metrics.json
+
+# Experiment-suite determinism gate: the quick suite's stdout (every
+# table of every experiment) must be byte-identical between the serial
+# reference path (DBP_JOBS=1) and a parallel run (DBP_JOBS=2). Timing
+# goes to stderr, so the diff sees simulation results only. The parallel
+# run also publishes the suite-timing JSON alongside BENCH_results.json.
+DBP_QUICK=1 DBP_JOBS=1 ./target/release/bench_all \
+    > target/ci-suite-serial.txt 2> /dev/null
+DBP_QUICK=1 DBP_JOBS=2 ./target/release/bench_all \
+    --json "$(pwd)/SUITE_timing.json" \
+    > target/ci-suite-parallel.txt
+diff target/ci-suite-serial.txt target/ci-suite-parallel.txt
+./target/release/jsonlint --require-key experiments --require-key total_wall_ns SUITE_timing.json

@@ -4,7 +4,5 @@
 //! (set `DBP_QUICK=1` for a fast, noisier version).
 
 fn main() {
-    let cfg = dbp_bench::harness::base_config();
-    println!("== Ablation 1: demand head-room coefficient alpha ==\n");
-    println!("{}", dbp_bench::experiments::abl1_alpha(&cfg));
+    dbp_bench::run_bin("abl1_alpha");
 }

@@ -4,7 +4,5 @@
 //! (set `DBP_QUICK=1` for a fast, noisier version).
 
 fn main() {
-    let cfg = dbp_bench::harness::base_config();
-    println!("== Ablation 2: grouping non-intensive threads on a shared slice ==\n");
-    println!("{}", dbp_bench::experiments::abl2_grouping(&cfg));
+    dbp_bench::run_bin("abl2_grouping");
 }

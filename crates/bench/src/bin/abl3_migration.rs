@@ -4,7 +4,5 @@
 //! (set `DBP_QUICK=1` for a fast, noisier version).
 
 fn main() {
-    let cfg = dbp_bench::harness::base_config();
-    println!("== Ablation 3: page-migration cost model ==\n");
-    println!("{}", dbp_bench::experiments::abl3_migration(&cfg));
+    dbp_bench::run_bin("abl3_migration");
 }

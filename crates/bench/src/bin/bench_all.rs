@@ -1,0 +1,108 @@
+//! Run the entire experiment suite — all tables, figures, ablations and
+//! extensions — in one process, sharing one worker pool and one memoized
+//! solo-run cache across experiments.
+//!
+//! Run: `cargo run --release -p dbp-bench --bin bench_all`
+//!
+//! Flags / environment:
+//!
+//! - `--quick` (or `DBP_QUICK=1`) — reduced instruction targets
+//! - `--json <path>` (or `DBP_SUITE_JSON=<path>`) — write the suite
+//!   timing summary as JSON (CI publishes it next to
+//!   `BENCH_results.json`)
+//! - `DBP_JOBS=n` — worker count (`1` forces the serial reference path)
+//!
+//! Experiment tables go to **stdout** and are byte-identical for any
+//! worker count; timing and progress go to **stderr**, so
+//! `bench_all > tables.txt` is diffable across `DBP_JOBS` settings —
+//! exactly what the CI determinism gate does.
+
+use dbp_bench::engine::Engine;
+use dbp_bench::{experiments, harness};
+use dbp_obs::export::{suite_timing_document, SuiteExperimentTiming};
+use dbp_util::bench::{fmt_ns, Stopwatch};
+
+fn main() {
+    let mut quick = harness::quick();
+    let mut json_path = std::env::var("DBP_SUITE_JSON").ok().filter(|p| !p.trim().is_empty());
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(p),
+                None => {
+                    eprintln!("bench_all: --json needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: bench_all [--quick] [--json <path>]   (DBP_JOBS=n sets workers)");
+                return;
+            }
+            other => {
+                eprintln!("bench_all: unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let eng = Engine::from_env();
+    let cfg = harness::config_for(quick);
+    eprintln!(
+        "bench_all: {} worker(s), {} config",
+        eng.workers(),
+        if quick { "quick" } else { "full (Table 1)" }
+    );
+
+    let suite = Stopwatch::start();
+    let mut rows: Vec<SuiteExperimentTiming> = Vec::new();
+    for exp in experiments::all() {
+        let before = eng.stats();
+        let sw = Stopwatch::start();
+        let body = (exp.render)(&eng, &cfg);
+        let wall = sw.elapsed_ns();
+        println!("== {} ==\n", exp.title);
+        println!("{body}");
+        let done = eng.stats().since(&before);
+        eprintln!(
+            "bench_all: {:<24} {:>12}   {} job(s), {} solo-cache hit(s)",
+            exp.name,
+            fmt_ns(wall),
+            done.jobs(),
+            done.solo_cache_hits
+        );
+        rows.push(SuiteExperimentTiming {
+            name: exp.name.to_string(),
+            wall_ns: wall,
+            jobs: done.jobs(),
+            solo_cache_hits: done.solo_cache_hits,
+        });
+    }
+
+    let total_ns = suite.elapsed_ns();
+    let s = eng.stats();
+    eprintln!(
+        "bench_all: suite done in {} on {} worker(s) — {} jobs ({} shared, {} solo, {} aux), \
+         {} solo-cache hits ({} distinct solo runs memoized)",
+        fmt_ns(total_ns),
+        eng.workers(),
+        s.jobs(),
+        s.shared_runs,
+        s.solo_runs,
+        s.aux_runs,
+        s.solo_cache_hits,
+        eng.cached_solo_runs()
+    );
+
+    if let Some(path) = json_path {
+        let doc = suite_timing_document(eng.workers(), quick, total_ns, &rows);
+        match std::fs::write(&path, doc.to_json()) {
+            Ok(()) => eprintln!("bench_all: wrote suite timing JSON to {path}"),
+            Err(e) => {
+                eprintln!("bench_all: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -3,7 +3,5 @@
 //! Run: `cargo run --release -p dbp-bench --bin ext1_energy`
 
 fn main() {
-    let cfg = dbp_bench::harness::base_config();
-    println!("== Extension: DRAM energy by policy (activate savings from partitioning) ==\n");
-    println!("{}", dbp_bench::experiments::ext1_energy(&cfg));
+    dbp_bench::run_bin("ext1_energy");
 }

@@ -3,7 +3,5 @@
 //! Run: `cargo run --release -p dbp-bench --bin ext2_mapping`
 
 fn main() {
-    let cfg = dbp_bench::harness::base_config();
-    println!("== Extension: DBP under permutation-based (XOR) bank mapping ==\n");
-    println!("{}", dbp_bench::experiments::ext2_mapping(&cfg));
+    dbp_bench::run_bin("ext2_mapping");
 }

@@ -3,8 +3,5 @@
 //! Run: `cargo run --release -p dbp-bench --bin ext3_schedulers`
 
 fn main() {
-    let cfg = dbp_bench::harness::base_config();
-    println!("== Extension: scheduler landscape (FCFS..TCM), shared vs +DBP ==\n");
-    println!("{}", dbp_bench::experiments::ext3_schedulers(&cfg));
-    println!("(WS higher is better; MS lower is fairer)");
+    dbp_bench::run_bin("ext3_schedulers");
 }

@@ -4,7 +4,5 @@
 //! (set `DBP_QUICK=1` for a fast, noisier version).
 
 fn main() {
-    let cfg = dbp_bench::harness::base_config();
-    println!("== Figure 10: sensitivity to channel count ==\n");
-    println!("{}", dbp_bench::experiments::fig10_channels_sweep(&cfg));
+    dbp_bench::run_bin("fig10_channels_sweep");
 }

@@ -4,7 +4,5 @@
 //! (set `DBP_QUICK=1` for a fast, noisier version).
 
 fn main() {
-    let cfg = dbp_bench::harness::base_config();
-    println!("== Figure 11: sensitivity to core count (scaled mixes) ==\n");
-    println!("{}", dbp_bench::experiments::fig11_cores_sweep(&cfg));
+    dbp_bench::run_bin("fig11_cores_sweep");
 }

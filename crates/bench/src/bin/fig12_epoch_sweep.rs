@@ -4,7 +4,5 @@
 //! (set `DBP_QUICK=1` for a fast, noisier version).
 
 fn main() {
-    let cfg = dbp_bench::harness::base_config();
-    println!("== Figure 12: sensitivity to the repartitioning epoch ==\n");
-    println!("{}", dbp_bench::experiments::fig12_epoch_sweep(&cfg));
+    dbp_bench::run_bin("fig12_epoch_sweep");
 }

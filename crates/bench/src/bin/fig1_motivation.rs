@@ -4,7 +4,5 @@
 //! (set `DBP_QUICK=1` for a fast, noisier version).
 
 fn main() {
-    let cfg = dbp_bench::harness::base_config();
-    println!("== Figure 1 (motivation): DRAM interference between co-running applications ==\n");
-    println!("{}", dbp_bench::experiments::fig1_motivation(&cfg));
+    dbp_bench::run_bin("fig1_motivation");
 }

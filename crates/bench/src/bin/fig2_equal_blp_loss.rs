@@ -4,7 +4,5 @@
 //! (set `DBP_QUICK=1` for a fast, noisier version).
 
 fn main() {
-    let cfg = dbp_bench::harness::base_config();
-    println!("== Figure 2: restricting banks destroys high-BLP benchmarks (the cost of equal partitioning) ==\n");
-    println!("{}", dbp_bench::experiments::fig2_equal_blp_loss(&cfg));
+    dbp_bench::run_bin("fig2_equal_blp_loss");
 }

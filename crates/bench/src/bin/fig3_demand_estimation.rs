@@ -4,7 +4,5 @@
 //! (set `DBP_QUICK=1` for a fast, noisier version).
 
 fn main() {
-    let cfg = dbp_bench::harness::base_config();
-    println!("== Figure 3: bank-demand estimation accuracy vs empirical optimum ==\n");
-    println!("{}", dbp_bench::experiments::fig3_demand_estimation(&cfg));
+    dbp_bench::run_bin("fig3_demand_estimation");
 }

@@ -4,8 +4,5 @@
 //! (set `DBP_QUICK=1` for a fast, noisier version).
 
 fn main() {
-    let cfg = dbp_bench::harness::base_config();
-    println!("== Figure 4: weighted speedup - shared vs equal-BP vs DBP (paper: DBP +4.3% over equal-BP) ==\n");
-    println!("{}", dbp_bench::experiments::fig4_ws_dbp(&cfg));
-    println!("(weighted speedup: higher is better)");
+    dbp_bench::run_bin("fig4_ws_dbp");
 }

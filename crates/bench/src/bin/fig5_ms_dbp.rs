@@ -4,8 +4,5 @@
 //! (set `DBP_QUICK=1` for a fast, noisier version).
 
 fn main() {
-    let cfg = dbp_bench::harness::base_config();
-    println!("== Figure 5: maximum slowdown - shared vs equal-BP vs DBP (paper: DBP improves fairness 16% over equal-BP) ==\n");
-    println!("{}", dbp_bench::experiments::fig5_ms_dbp(&cfg));
-    println!("(maximum slowdown: lower is better/fairer)");
+    dbp_bench::run_bin("fig5_ms_dbp");
 }

@@ -4,7 +4,5 @@
 //! (set `DBP_QUICK=1` for a fast, noisier version).
 
 fn main() {
-    let cfg = dbp_bench::harness::base_config();
-    println!("== Figure 6: system row-buffer hit rate per policy ==\n");
-    println!("{}", dbp_bench::experiments::fig6_row_hits(&cfg));
+    dbp_bench::run_bin("fig6_row_hits");
 }

@@ -4,10 +4,5 @@
 //! (set `DBP_QUICK=1` for a fast, noisier version).
 
 fn main() {
-    let cfg = dbp_bench::harness::base_config();
-    println!("== Figure 7: composing DBP with TCM (paper: DBP-TCM +6.2% WS, +16.7% fairness over TCM) ==\n");
-    println!("{}", dbp_bench::experiments::fig7_dbp_tcm_ws(&cfg));
-    println!("(weighted speedup: higher is better)\n");
-    println!("{}", dbp_bench::experiments::fig7_dbp_tcm_ms(&cfg));
-    println!("(maximum slowdown: lower is better/fairer)");
+    dbp_bench::run_bin("fig7_dbp_tcm");
 }

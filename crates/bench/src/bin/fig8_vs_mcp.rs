@@ -4,11 +4,5 @@
 //! (set `DBP_QUICK=1` for a fast, noisier version).
 
 fn main() {
-    let cfg = dbp_bench::harness::base_config();
-    println!("== Figure 8: DBP-TCM vs MCP (paper: +5.3% WS, +37% fairness) ==\n");
-    let (ws, ms) = dbp_bench::experiments::fig8_vs_mcp(&cfg);
-    println!("{ws}");
-    println!("(weighted speedup: higher is better)\n");
-    println!("{ms}");
-    println!("(maximum slowdown: lower is better/fairer)");
+    dbp_bench::run_bin("fig8_vs_mcp");
 }

@@ -4,7 +4,5 @@
 //! (set `DBP_QUICK=1` for a fast, noisier version).
 
 fn main() {
-    let cfg = dbp_bench::harness::base_config();
-    println!("== Figure 9: sensitivity to total bank count ==\n");
-    println!("{}", dbp_bench::experiments::fig9_banks_sweep(&cfg));
+    dbp_bench::run_bin("fig9_banks_sweep");
 }

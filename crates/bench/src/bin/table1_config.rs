@@ -4,7 +4,5 @@
 //! (set `DBP_QUICK=1` for a fast, noisier version).
 
 fn main() {
-    let cfg = dbp_bench::harness::base_config();
-    println!("== Table 1: simulated system configuration ==\n");
-    println!("{}", dbp_bench::experiments::table1_config(&cfg));
+    dbp_bench::run_bin("table1_config");
 }

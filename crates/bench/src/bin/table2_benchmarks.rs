@@ -4,7 +4,5 @@
 //! (set `DBP_QUICK=1` for a fast, noisier version).
 
 fn main() {
-    let cfg = dbp_bench::harness::base_config();
-    println!("== Table 2: benchmark characteristics (targets marked *, measured unmarked) ==\n");
-    println!("{}", dbp_bench::experiments::table2_benchmarks(&cfg));
+    dbp_bench::run_bin("table2_benchmarks");
 }

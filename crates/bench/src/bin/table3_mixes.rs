@@ -4,8 +4,5 @@
 //! (set `DBP_QUICK=1` for a fast, noisier version).
 
 fn main() {
-    let cfg = dbp_bench::harness::base_config();
-    println!("== Table 3: multiprogrammed workload mixes ==\n");
-    let _ = cfg;
-    println!("{}", dbp_bench::experiments::table3_mixes());
+    dbp_bench::run_bin("table3_mixes");
 }

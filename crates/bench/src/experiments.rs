@@ -1,17 +1,27 @@
 //! One function per table/figure of the (reconstructed) evaluation.
 //!
-//! Each returns a [`Table`] whose rows are the series the paper plots;
-//! the `src/bin/` wrappers print them. See `DESIGN.md` for the experiment
-//! index and `EXPERIMENTS.md` for recorded paper-vs-measured outcomes.
+//! Each takes the shared sweep [`Engine`] plus a configuration and
+//! returns a [`Table`] whose rows are the series the paper plots; the
+//! `src/bin/` wrappers print them via [`crate::run_bin`], and the
+//! `bench_all` binary runs the whole registry ([`all`]) in one process
+//! so the memoized solo-run cache is shared across experiments. See
+//! `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for
+//! recorded paper-vs-measured outcomes.
+//!
+//! Every simulation below — shared run, solo calibration run, restricted
+//! single-benchmark run — is dispatched as an independent job on the
+//! engine's worker pool; results are collected by index, so the tables
+//! are byte-identical whatever `DBP_JOBS` says.
 
 use dbp_core::policy::PolicyKind;
 use dbp_core::{BankDemandEstimator, EstimatorConfig, ThreadMemProfile};
 use dbp_osmem::MigrationMode;
 use dbp_sim::metrics::gmean;
 use dbp_sim::report::{f3, pct, Table};
-use dbp_sim::{runner, MigrationCost, SimConfig};
+use dbp_sim::{MigrationCost, SimConfig, ThreadResult};
 use dbp_workloads::{mixes_4core, profiles, scale_mix, Mix, SyntheticTrace};
 
+use crate::engine::Engine;
 use crate::harness::{self, Combo};
 
 /// Representative mix subset used by the parameter sweeps (one or two
@@ -25,7 +35,7 @@ pub fn sweep_mixes() -> Vec<Mix> {
 }
 
 /// Table 1: the simulated system configuration.
-pub fn table1_config(cfg: &SimConfig) -> Table {
+pub fn table1_config(_eng: &Engine, cfg: &SimConfig) -> Table {
     let mut t = Table::new(["parameter", "value"]);
     let d = &cfg.dram;
     t.row(["cores", &format!("{} OoO-window, {}-wide, ROB {}", 4, cfg.core.width, cfg.core.rob)]);
@@ -46,18 +56,19 @@ pub fn table1_config(cfg: &SimConfig) -> Table {
 }
 
 /// Table 2: benchmark characteristics — calibration targets vs values
-/// measured running each benchmark alone.
-pub fn table2_benchmarks(cfg: &SimConfig) -> Table {
+/// measured running each benchmark alone (one pool job per benchmark).
+pub fn table2_benchmarks(eng: &Engine, cfg: &SimConfig) -> Table {
     let mut t = Table::new([
         "benchmark", "class", "MPKI*", "MPKI", "RBL*", "RBL", "BLP*", "BLP", "IPC",
     ]);
-    for p in profiles::PROFILES {
-        let mix = Mix { name: "solo", intensive_pct: 0, benchmarks: vec![p.name] };
-        let alone_cfg = harness::shared().apply(cfg);
-        let trace = SyntheticTrace::new(p, 42);
-        let mut sys = dbp_sim::System::new(alone_cfg, vec![Box::new(trace)]);
-        let r = sys.run();
-        let th = &r.threads[0];
+    let alone_cfg = harness::shared().apply(cfg);
+    let measured: Vec<ThreadResult> =
+        eng.par_map(profiles::PROFILES.iter().collect(), |p| {
+            let trace = SyntheticTrace::new(p, 42);
+            let mut sys = dbp_sim::System::new(alone_cfg.clone(), vec![Box::new(trace)]);
+            sys.run().threads[0]
+        });
+    for (p, th) in profiles::PROFILES.iter().zip(&measured) {
         t.row([
             p.name.to_owned(),
             format!("{:?}", p.class()),
@@ -69,7 +80,6 @@ pub fn table2_benchmarks(cfg: &SimConfig) -> Table {
             format!("{:.1}", th.blp),
             format!("{:.3}", th.ipc),
         ]);
-        let _ = mix;
     }
     t
 }
@@ -89,13 +99,16 @@ pub fn table3_mixes() -> Table {
 
 /// Figure 1 (motivation): two applications co-running on a shared memory
 /// system slow each other down far beyond their bandwidth shares.
-pub fn fig1_motivation(cfg: &SimConfig) -> Table {
+pub fn fig1_motivation(eng: &Engine, cfg: &SimConfig) -> Table {
     let mix = Mix {
         name: "motivation",
         intensive_pct: 100,
         benchmarks: vec!["libquantum", "mcf"],
     };
-    let run = runner::run_mix(&harness::shared().apply(cfg), &mix);
+    let run = eng
+        .run_grid(cfg, std::slice::from_ref(&mix), &[harness::shared()])
+        .remove(0)
+        .remove(0);
     let mut t = Table::new(["benchmark", "IPC alone", "IPC shared", "slowdown"]);
     for (i, name) in mix.benchmarks.iter().enumerate() {
         t.row([
@@ -110,22 +123,29 @@ pub fn fig1_motivation(cfg: &SimConfig) -> Table {
 
 /// Figure 2: restricting a high-BLP benchmark to fewer banks destroys its
 /// performance — the cost of *equal* bank partitioning.
-pub fn fig2_equal_blp_loss(cfg: &SimConfig) -> Table {
+pub fn fig2_equal_blp_loss(eng: &Engine, cfg: &SimConfig) -> Table {
     let mut t = Table::new(["benchmark", "bank units", "banks", "IPC", "BLP", "vs all-banks"]);
-    for name in ["mcf", "GemsFDTD", "libquantum"] {
+    let units = cfg.dram.banks_per_rank; // a unit spans all channels/ranks
+    let names = ["mcf", "GemsFDTD", "libquantum"];
+    let budgets = [1u32, 2, 4, units];
+    let jobs: Vec<(&'static str, u32)> = names
+        .iter()
+        .flat_map(|&n| budgets.into_iter().map(move |k| (n, k)))
+        .collect();
+    let runs: Vec<(f64, f64)> = eng.par_map(jobs, |(name, k)| {
         let p = profiles::by_name(name);
-        let units = cfg.dram.banks_per_rank; // a unit spans all channels/ranks
-        let run_with = |k: u32| {
-            let mut c = cfg.clone();
-            c.policy = PolicyKind::RestrictFirst(k);
-            let trace = SyntheticTrace::new(p, 42);
-            let mut sys = dbp_sim::System::new(c, vec![Box::new(trace)]);
-            let r = sys.run();
-            (r.threads[0].ipc, r.threads[0].blp)
-        };
-        let (full_ipc, _) = run_with(units);
-        for k in [1u32, 2, 4, units] {
-            let (ipc, blp) = run_with(k);
+        let mut c = cfg.clone();
+        c.policy = PolicyKind::RestrictFirst(k);
+        let trace = SyntheticTrace::new(p, 42);
+        let mut sys = dbp_sim::System::new(c, vec![Box::new(trace)]);
+        let r = sys.run();
+        (r.threads[0].ipc, r.threads[0].blp)
+    });
+    for (bi, &name) in names.iter().enumerate() {
+        let row_of = |j: usize| runs[bi * budgets.len() + j];
+        let (full_ipc, _) = row_of(budgets.len() - 1); // k == units
+        for (j, k) in budgets.into_iter().enumerate() {
+            let (ipc, blp) = row_of(j);
             t.row([
                 name.to_owned(),
                 k.to_string(),
@@ -141,34 +161,45 @@ pub fn fig2_equal_blp_loss(cfg: &SimConfig) -> Table {
 
 /// Figure 3: demand-estimation accuracy — the estimator's bank budget vs
 /// the empirically best budget found by sweeping.
-pub fn fig3_demand_estimation(cfg: &SimConfig) -> Table {
+pub fn fig3_demand_estimation(eng: &Engine, cfg: &SimConfig) -> Table {
     let mut t = Table::new([
         "benchmark", "measured BLP", "estimated units", "best units", "IPC@est/IPC@best",
     ]);
     let est = BankDemandEstimator::new(EstimatorConfig::default());
     let units = cfg.dram.banks_per_rank;
-    for name in ["mcf", "lbm", "libquantum", "milc", "omnetpp"] {
+    let names = ["mcf", "lbm", "libquantum", "milc", "omnetpp"];
+    // k == 0 is the unrestricted measured run; 1..=units the budget sweep.
+    let jobs: Vec<(&'static str, u32)> = names
+        .iter()
+        .flat_map(|&n| (0..=units).map(move |k| (n, k)))
+        .collect();
+    let runs: Vec<ThreadResult> = eng.par_map(jobs, |(name, k)| {
         let p = profiles::by_name(name);
-        // Measure the profile alone, unrestricted.
+        let c = if k == 0 {
+            harness::shared().apply(cfg)
+        } else {
+            let mut c = cfg.clone();
+            c.policy = PolicyKind::RestrictFirst(k);
+            c
+        };
         let trace = SyntheticTrace::new(p, 42);
-        let mut sys = dbp_sim::System::new(harness::shared().apply(cfg), vec![Box::new(trace)]);
-        let solo = sys.run();
+        let mut s = dbp_sim::System::new(c, vec![Box::new(trace)]);
+        s.run().threads[0]
+    });
+    let per_bench = units as usize + 1;
+    for (bi, &name) in names.iter().enumerate() {
+        let solo = &runs[bi * per_bench]; // the k == 0 run
         let measured = ThreadMemProfile {
-            mpki: solo.threads[0].mpki,
-            rbl: solo.threads[0].rbl,
-            blp: solo.threads[0].blp,
-            reads: solo.threads[0].reads,
+            mpki: solo.mpki,
+            rbl: solo.rbl,
+            blp: solo.blp,
+            reads: solo.reads,
             bus_cycles: 1,
         };
         let estimate = est.demand(&measured, units).min(units);
-        // Sweep unit budgets for the empirical optimum.
         let mut ipc_at = vec![0.0f64; units as usize + 1];
         for k in 1..=units {
-            let mut c = cfg.clone();
-            c.policy = PolicyKind::RestrictFirst(k);
-            let trace = SyntheticTrace::new(p, 42);
-            let mut s = dbp_sim::System::new(c, vec![Box::new(trace)]);
-            ipc_at[k as usize] = s.run().threads[0].ipc;
+            ipc_at[k as usize] = runs[bi * per_bench + k as usize].ipc;
         }
         let best = (1..=units)
             .max_by(|&a, &b| {
@@ -191,18 +222,19 @@ pub fn fig3_demand_estimation(cfg: &SimConfig) -> Table {
 /// The shared engine behind Figures 4-8: run `combos` over `mixes` and
 /// tabulate one metric.
 fn policy_comparison(
+    eng: &Engine,
     cfg: &SimConfig,
     mixes: &[Mix],
     combos: &[Combo],
-    metric: fn(&runner::MixRun) -> f64,
+    metric: fn(&dbp_sim::runner::MixRun) -> f64,
     metric_name: &str,
 ) -> Table {
     let mut headers = vec!["mix".to_owned()];
     headers.extend(combos.iter().map(|c| format!("{} {}", c.label, metric_name)));
     let mut t = Table::new(headers);
+    let grid = eng.run_grid(cfg, mixes, combos);
     let mut series: Vec<Vec<f64>> = vec![Vec::new(); combos.len()];
-    for mix in mixes {
-        let runs = harness::run_combos(cfg, mix, combos);
+    for (mix, runs) in mixes.iter().zip(&grid) {
         let mut row = vec![mix.name.to_owned()];
         for (k, run) in runs.iter().enumerate() {
             let v = metric(run);
@@ -231,8 +263,9 @@ fn policy_comparison(
 /// Figure 4: weighted speedup — shared FR-FCFS vs equal bank partitioning
 /// vs DBP. Headline: DBP improves system performance by ~4.3 % over equal
 /// bank partitioning.
-pub fn fig4_ws_dbp(cfg: &SimConfig) -> Table {
+pub fn fig4_ws_dbp(eng: &Engine, cfg: &SimConfig) -> Table {
     policy_comparison(
+        eng,
         cfg,
         &mixes_4core(),
         &[harness::shared(), harness::equal_bp(), harness::dbp()],
@@ -244,8 +277,9 @@ pub fn fig4_ws_dbp(cfg: &SimConfig) -> Table {
 /// Figure 5: maximum slowdown (unfairness; lower is better) for the same
 /// comparison. Headline: DBP improves fairness by ~16 % over equal bank
 /// partitioning.
-pub fn fig5_ms_dbp(cfg: &SimConfig) -> Table {
+pub fn fig5_ms_dbp(eng: &Engine, cfg: &SimConfig) -> Table {
     policy_comparison(
+        eng,
         cfg,
         &mixes_4core(),
         &[harness::shared(), harness::equal_bp(), harness::dbp()],
@@ -256,8 +290,9 @@ pub fn fig5_ms_dbp(cfg: &SimConfig) -> Table {
 
 /// Figure 6: system row-buffer hit rate per policy — partitioning's
 /// mechanism is eliminating inter-thread row closures.
-pub fn fig6_row_hits(cfg: &SimConfig) -> Table {
+pub fn fig6_row_hits(eng: &Engine, cfg: &SimConfig) -> Table {
     policy_comparison(
+        eng,
         cfg,
         &mixes_4core(),
         &[harness::shared(), harness::equal_bp(), harness::dbp(), harness::tcm(), harness::dbp_tcm()],
@@ -268,8 +303,9 @@ pub fn fig6_row_hits(cfg: &SimConfig) -> Table {
 
 /// Figure 7: composing DBP with TCM. Headline: DBP-TCM improves system
 /// throughput by ~6.2 % and fairness by ~16.7 % over TCM alone.
-pub fn fig7_dbp_tcm_ws(cfg: &SimConfig) -> Table {
+pub fn fig7_dbp_tcm_ws(eng: &Engine, cfg: &SimConfig) -> Table {
     policy_comparison(
+        eng,
         cfg,
         &mixes_4core(),
         &[harness::tcm(), harness::dbp(), harness::dbp_tcm()],
@@ -279,8 +315,9 @@ pub fn fig7_dbp_tcm_ws(cfg: &SimConfig) -> Table {
 }
 
 /// Figure 7 (fairness half).
-pub fn fig7_dbp_tcm_ms(cfg: &SimConfig) -> Table {
+pub fn fig7_dbp_tcm_ms(eng: &Engine, cfg: &SimConfig) -> Table {
     policy_comparison(
+        eng,
         cfg,
         &mixes_4core(),
         &[harness::tcm(), harness::dbp(), harness::dbp_tcm()],
@@ -291,20 +328,22 @@ pub fn fig7_dbp_tcm_ms(cfg: &SimConfig) -> Table {
 
 /// Figure 8: DBP-TCM vs MCP. Headline: +5.3 % throughput and +37 %
 /// fairness over MCP.
-pub fn fig8_vs_mcp(cfg: &SimConfig) -> (Table, Table) {
+pub fn fig8_vs_mcp(eng: &Engine, cfg: &SimConfig) -> (Table, Table) {
     let combos = [harness::mcp(), harness::dbp_tcm()];
-    let ws = policy_comparison(cfg, &mixes_4core(), &combos, |r| r.metrics.weighted_speedup, "WS");
-    let ms = policy_comparison(cfg, &mixes_4core(), &combos, |r| r.metrics.max_slowdown, "MS");
+    let ws =
+        policy_comparison(eng, cfg, &mixes_4core(), &combos, |r| r.metrics.weighted_speedup, "WS");
+    let ms =
+        policy_comparison(eng, cfg, &mixes_4core(), &combos, |r| r.metrics.max_slowdown, "MS");
     (ws, ms)
 }
 
 /// A (banks | channels | cores | epoch | alpha | ...) sweep row: gmean WS
 /// and MS over the sweep mixes for each combo.
-fn sweep_row(cfg: &SimConfig, mixes: &[Mix], combos: &[Combo]) -> Vec<(f64, f64)> {
+fn sweep_row(eng: &Engine, cfg: &SimConfig, mixes: &[Mix], combos: &[Combo]) -> Vec<(f64, f64)> {
+    let grid = eng.run_grid(cfg, mixes, combos);
     let mut ws: Vec<Vec<f64>> = vec![Vec::new(); combos.len()];
     let mut ms: Vec<Vec<f64>> = vec![Vec::new(); combos.len()];
-    for mix in mixes {
-        let runs = harness::run_combos(cfg, mix, combos);
+    for runs in &grid {
         for (k, run) in runs.iter().enumerate() {
             ws[k].push(run.metrics.weighted_speedup);
             ms[k].push(run.metrics.max_slowdown);
@@ -314,7 +353,7 @@ fn sweep_row(cfg: &SimConfig, mixes: &[Mix], combos: &[Combo]) -> Vec<(f64, f64)
 }
 
 /// Figure 9: sensitivity to banks per channel (8/16/32 total banks).
-pub fn fig9_banks_sweep(cfg: &SimConfig) -> Table {
+pub fn fig9_banks_sweep(eng: &Engine, cfg: &SimConfig) -> Table {
     let combos = [harness::shared(), harness::equal_bp(), harness::dbp()];
     let mut t = Table::new([
         "banks", "shared WS/MS", "equal-BP WS/MS", "DBP WS/MS",
@@ -323,7 +362,7 @@ pub fn fig9_banks_sweep(cfg: &SimConfig) -> Table {
         let mut c = cfg.clone();
         c.dram.banks_per_rank = banks;
         c.dram.rows_per_bank = cfg.dram.rows_per_bank * cfg.dram.banks_per_rank / banks;
-        let row = sweep_row(&c, &sweep_mixes(), &combos);
+        let row = sweep_row(eng, &c, &sweep_mixes(), &combos);
         let total = banks * c.dram.channels * c.dram.ranks_per_channel;
         let mut cells = vec![total.to_string()];
         cells.extend(row.iter().map(|(w, m)| format!("{w:.3}/{m:.3}")));
@@ -333,7 +372,7 @@ pub fn fig9_banks_sweep(cfg: &SimConfig) -> Table {
 }
 
 /// Figure 10: sensitivity to channel count (1/2/4).
-pub fn fig10_channels_sweep(cfg: &SimConfig) -> Table {
+pub fn fig10_channels_sweep(eng: &Engine, cfg: &SimConfig) -> Table {
     let combos = [harness::shared(), harness::equal_bp(), harness::dbp(), harness::mcp()];
     let mut t = Table::new([
         "channels", "shared WS/MS", "equal-BP WS/MS", "DBP WS/MS", "MCP WS/MS",
@@ -342,7 +381,7 @@ pub fn fig10_channels_sweep(cfg: &SimConfig) -> Table {
         let mut c = cfg.clone();
         c.dram.channels = channels;
         c.dram.rows_per_bank = cfg.dram.rows_per_bank * cfg.dram.channels / channels;
-        let row = sweep_row(&c, &sweep_mixes(), &combos);
+        let row = sweep_row(eng, &c, &sweep_mixes(), &combos);
         let mut cells = vec![channels.to_string()];
         cells.extend(row.iter().map(|(w, m)| format!("{w:.3}/{m:.3}")));
         t.row(cells);
@@ -351,7 +390,7 @@ pub fn fig10_channels_sweep(cfg: &SimConfig) -> Table {
 }
 
 /// Figure 11: sensitivity to core count (2/4/8) with scaled mixes.
-pub fn fig11_cores_sweep(cfg: &SimConfig) -> Table {
+pub fn fig11_cores_sweep(eng: &Engine, cfg: &SimConfig) -> Table {
     let combos = [harness::shared(), harness::equal_bp(), harness::dbp()];
     let mut t = Table::new(["cores", "shared WS/MS", "equal-BP WS/MS", "DBP WS/MS"]);
     let base: Vec<Mix> = {
@@ -360,7 +399,7 @@ pub fn fig11_cores_sweep(cfg: &SimConfig) -> Table {
     };
     for cores in [2usize, 4, 8] {
         let mixes: Vec<Mix> = base.iter().map(|m| scale_mix(m, cores)).collect();
-        let row = sweep_row(cfg, &mixes, &combos);
+        let row = sweep_row(eng, cfg, &mixes, &combos);
         let mut cells = vec![cores.to_string()];
         cells.extend(row.iter().map(|(w, m)| format!("{w:.3}/{m:.3}")));
         t.row(cells);
@@ -369,14 +408,14 @@ pub fn fig11_cores_sweep(cfg: &SimConfig) -> Table {
 }
 
 /// Figure 12: sensitivity to the repartitioning epoch length.
-pub fn fig12_epoch_sweep(cfg: &SimConfig) -> Table {
+pub fn fig12_epoch_sweep(eng: &Engine, cfg: &SimConfig) -> Table {
     let combos = [harness::dbp(), harness::dbp_tcm()];
     let mut t = Table::new(["epoch (CPU cycles)", "DBP WS/MS", "DBP-TCM WS/MS"]);
     for epoch in [250_000u64, 500_000, 1_000_000, 2_000_000] {
         let mut c = cfg.clone();
         c.epoch_cpu_cycles = epoch;
         c.instr_feed_interval = c.instr_feed_interval.min(epoch);
-        let row = sweep_row(&c, &sweep_mixes(), &combos);
+        let row = sweep_row(eng, &c, &sweep_mixes(), &combos);
         let mut cells = vec![epoch.to_string()];
         cells.extend(row.iter().map(|(w, m)| format!("{w:.3}/{m:.3}")));
         t.row(cells);
@@ -384,27 +423,32 @@ pub fn fig12_epoch_sweep(cfg: &SimConfig) -> Table {
     t
 }
 
-/// Ablation 1: the demand head-room coefficient alpha.
-pub fn abl1_alpha(cfg: &SimConfig) -> Table {
+/// Ablation 1: the demand head-room coefficient alpha (one combo per
+/// alpha, all dispatched in a single grid).
+pub fn abl1_alpha(eng: &Engine, cfg: &SimConfig) -> Table {
     let mut t = Table::new(["alpha", "DBP WS", "DBP MS"]);
-    for alpha in [1.0f64, 1.5, 2.0, 3.0, 4.0] {
-        let combo = Combo {
+    let alphas = [1.0f64, 1.5, 2.0, 3.0, 4.0];
+    let combos: Vec<Combo> = alphas
+        .iter()
+        .map(|&alpha| Combo {
             label: "DBP",
             scheduler: harness::dbp().scheduler,
             policy: PolicyKind::Dbp(dbp_core::policy::DbpConfig {
                 estimator: EstimatorConfig { alpha, ..Default::default() },
                 ..Default::default()
             }),
-        };
-        let row = sweep_row(cfg, &sweep_mixes(), &[combo]);
-        t.row([format!("{alpha:.1}"), f3(row[0].0), f3(row[0].1)]);
+        })
+        .collect();
+    let rows = sweep_row(eng, cfg, &sweep_mixes(), &combos);
+    for (alpha, (w, m)) in alphas.iter().zip(rows) {
+        t.row([format!("{alpha:.1}"), f3(w), f3(m)]);
     }
     t
 }
 
 /// Ablation 2: grouping non-intensive threads on a shared slice vs giving
 /// each a dedicated allocation.
-pub fn abl2_grouping(cfg: &SimConfig) -> Table {
+pub fn abl2_grouping(eng: &Engine, cfg: &SimConfig) -> Table {
     let mixes: Vec<Mix> = {
         let all = mixes_4core();
         // Mixed-intensity mixes are where grouping matters.
@@ -419,7 +463,7 @@ pub fn abl2_grouping(cfg: &SimConfig) -> Table {
             ..Default::default()
         }),
     };
-    let row = sweep_row(cfg, &mixes, &[on, off]);
+    let row = sweep_row(eng, cfg, &mixes, &[on, off]);
     let mut t = Table::new(["variant", "WS", "MS"]);
     t.row(["grouped".to_owned(), f3(row[0].0), f3(row[0].1)]);
     t.row(["ungrouped".to_owned(), f3(row[1].0), f3(row[1].1)]);
@@ -427,8 +471,10 @@ pub fn abl2_grouping(cfg: &SimConfig) -> Table {
 }
 
 /// Ablation 3: migration cost model (free vs charged, budget sizes,
-/// lazy vs eager).
-pub fn abl3_migration(cfg: &SimConfig) -> Table {
+/// lazy vs eager). The tweaks touch only migration knobs, which cannot
+/// affect an alone run, so all variants share the same solo-cache
+/// entries.
+pub fn abl3_migration(eng: &Engine, cfg: &SimConfig) -> Table {
     type Tweak = Box<dyn Fn(&mut SimConfig)>;
     let mut t = Table::new(["variant", "WS", "MS", "note"]);
     let variants: Vec<(&str, Tweak)> = vec![
@@ -439,13 +485,14 @@ pub fn abl3_migration(cfg: &SimConfig) -> Table {
         ("eager, budget 128", Box::new(|c| c.migration_mode = MigrationMode::Eager)),
     ];
     for (label, tweak) in variants {
-        let mut c = harness::dbp().apply(cfg);
+        let mut c = cfg.clone();
         tweak(&mut c);
+        let grid = eng.run_grid(&c, &sweep_mixes(), &[harness::dbp()]);
         let mut ws = Vec::new();
         let mut ms = Vec::new();
         let mut migrated = 0u64;
-        for mix in sweep_mixes() {
-            let run = runner::run_mix(&c, &mix);
+        for runs in &grid {
+            let run = &runs[0];
             ws.push(run.metrics.weighted_speedup);
             ms.push(run.metrics.max_slowdown);
             migrated += run.shared.migrated_pages;
@@ -464,21 +511,23 @@ pub fn abl3_migration(cfg: &SimConfig) -> Table {
 ///
 /// Bank partitioning cuts activates (every eliminated row conflict is an
 /// ACT/PRE pair saved), which the coarse energy model turns into energy
-/// per serviced byte.
-pub fn ext1_energy(cfg: &SimConfig) -> Table {
+/// per serviced byte. Alone baselines are never consulted, so this uses
+/// the shared-runs-only grid.
+pub fn ext1_energy(eng: &Engine, cfg: &SimConfig) -> Table {
     let model = dbp_dram::EnergyModel::default();
     let combos = [harness::shared(), harness::equal_bp(), harness::dbp(), harness::dbp_tcm()];
     let mut t = Table::new([
         "policy", "activates/1k-reads", "accesses/ACT", "energy (mJ)", "nJ/byte",
     ]);
-    for combo in combos {
-        let c = combo.apply(cfg);
+    let mixes = sweep_mixes();
+    let grid = eng.run_shared_grid(cfg, &mixes, &combos);
+    for (ci, combo) in combos.iter().enumerate() {
         let mut acts_per_kread = Vec::new();
         let mut apa = Vec::new();
         let mut energy_mj = 0.0;
         let mut bytes = 0u64;
-        for mix in sweep_mixes() {
-            let run = runner::run_shared(&c, &mix);
+        for runs in &grid {
+            let run = &runs[ci];
             let d = run.dram;
             acts_per_kread.push(d.activates as f64 * 1000.0 / (d.reads.max(1)) as f64);
             apa.push(run.accesses_per_activate.max(1e-9));
@@ -504,21 +553,24 @@ pub fn ext1_energy(cfg: &SimConfig) -> Table {
 /// color, so partitioning still isolates threads. This ablation checks
 /// that DBP's benefit is not an artifact of the plain page-coloring
 /// layout.
-pub fn ext2_mapping(cfg: &SimConfig) -> Table {
+pub fn ext2_mapping(eng: &Engine, cfg: &SimConfig) -> Table {
     use dbp_dram::MappingScheme;
     let mut t = Table::new(["mapping", "policy", "WS", "MS", "rowhit"]);
+    let combos = [harness::shared(), harness::dbp()];
+    let mixes = sweep_mixes();
     for (mname, mapping) in [
         ("page-coloring", MappingScheme::PageColoring),
         ("XOR-permuted", MappingScheme::PermutedPageColoring),
     ] {
-        for combo in [harness::shared(), harness::dbp()] {
-            let mut c = combo.apply(cfg);
-            c.dram.mapping = mapping;
+        let mut c = cfg.clone();
+        c.dram.mapping = mapping;
+        let grid = eng.run_grid(&c, &mixes, &combos);
+        for (ci, combo) in combos.iter().enumerate() {
             let mut ws = Vec::new();
             let mut ms = Vec::new();
             let mut rh = Vec::new();
-            for mix in sweep_mixes() {
-                let run = runner::run_mix(&c, &mix);
+            for runs in &grid {
+                let run = &runs[ci];
                 ws.push(run.metrics.weighted_speedup);
                 ms.push(run.metrics.max_slowdown);
                 rh.push(run.shared.row_hit_rate.max(1e-9));
@@ -536,14 +588,15 @@ pub fn ext2_mapping(cfg: &SimConfig) -> Table {
 }
 
 /// Extension (not in the paper): the full scheduler landscape, with and
-/// without DBP underneath.
+/// without DBP underneath — all 14 (scheduler, policy) combos dispatched
+/// as one grid.
 ///
 /// Places DBP among the era's schedulers: FCFS, FR-FCFS (+Cap), PAR-BS,
 /// ATLAS, BLISS, TCM. The paper's orthogonality claim predicts the DBP
 /// column improves *every* scheduler's fairness.
-pub fn ext3_schedulers(cfg: &SimConfig) -> Table {
+pub fn ext3_schedulers(eng: &Engine, cfg: &SimConfig) -> Table {
     use dbp_sim::SchedulerKind;
-    let schedulers: Vec<(&str, SchedulerKind)> = vec![
+    let schedulers: Vec<(&'static str, SchedulerKind)> = vec![
         ("FCFS", SchedulerKind::Fcfs),
         ("FR-FCFS", SchedulerKind::FrFcfs),
         ("FR-FCFS+Cap", SchedulerKind::FrFcfsCap(Default::default())),
@@ -552,30 +605,179 @@ pub fn ext3_schedulers(cfg: &SimConfig) -> Table {
         ("BLISS", SchedulerKind::Bliss(Default::default())),
         ("TCM", SchedulerKind::Tcm(Default::default())),
     ];
+    let combos: Vec<Combo> = schedulers
+        .iter()
+        .flat_map(|&(label, sched)| {
+            [PolicyKind::Unpartitioned, PolicyKind::Dbp(Default::default())]
+                .into_iter()
+                .map(move |policy| Combo { label, scheduler: sched, policy })
+        })
+        .collect();
+    let rows = sweep_row(eng, cfg, &sweep_mixes(), &combos);
     let mut t = Table::new(["scheduler", "shared WS/MS", "+DBP WS/MS"]);
-    for (label, sched) in schedulers {
-        let mut cells = vec![label.to_owned()];
-        for policy in [PolicyKind::Unpartitioned, PolicyKind::Dbp(Default::default())] {
-            let mut c = cfg.clone();
-            c.scheduler = sched;
-            c.policy = policy;
-            let mut ws = Vec::new();
-            let mut ms = Vec::new();
-            for mix in sweep_mixes() {
-                let run = runner::run_mix(&c, &mix);
-                ws.push(run.metrics.weighted_speedup);
-                ms.push(run.metrics.max_slowdown);
-            }
-            cells.push(format!("{:.3}/{:.3}", gmean(&ws), gmean(&ms)));
+    for (si, (label, _)) in schedulers.iter().enumerate() {
+        let mut cells = vec![(*label).to_owned()];
+        for (w, m) in &rows[2 * si..2 * si + 2] {
+            cells.push(format!("{w:.3}/{m:.3}"));
         }
         t.row(cells);
     }
     t
 }
 
+/// A registered experiment: its binary name, the `== title ==` banner the
+/// binary prints, and a renderer producing the full stdout body (tables
+/// plus reading-direction footnotes).
+pub struct Experiment {
+    /// Binary name, e.g. `"fig4_ws_dbp"`.
+    pub name: &'static str,
+    /// Banner title (printed as `== title ==`).
+    pub title: &'static str,
+    /// Render the experiment's stdout body through the engine.
+    pub render: fn(&Engine, &SimConfig) -> String,
+}
+
+/// The full experiment registry, in suite order (tables, figures,
+/// ablations, extensions) — the order `bench_all` runs and the order
+/// that maximises solo-cache reuse (the base-config figures populate the
+/// cache the sweeps then draw from).
+pub fn all() -> Vec<Experiment> {
+    fn table(t: Table) -> String {
+        t.to_string()
+    }
+    vec![
+        Experiment {
+            name: "table1_config",
+            title: "Table 1: simulated system configuration",
+            render: |e, c| table(table1_config(e, c)),
+        },
+        Experiment {
+            name: "table2_benchmarks",
+            title: "Table 2: benchmark characteristics (targets marked *, measured unmarked)",
+            render: |e, c| table(table2_benchmarks(e, c)),
+        },
+        Experiment {
+            name: "table3_mixes",
+            title: "Table 3: multiprogrammed workload mixes",
+            render: |_, _| table(table3_mixes()),
+        },
+        Experiment {
+            name: "fig1_motivation",
+            title: "Figure 1 (motivation): DRAM interference between co-running applications",
+            render: |e, c| table(fig1_motivation(e, c)),
+        },
+        Experiment {
+            name: "fig2_equal_blp_loss",
+            title: "Figure 2: restricting banks destroys high-BLP benchmarks (the cost of equal partitioning)",
+            render: |e, c| table(fig2_equal_blp_loss(e, c)),
+        },
+        Experiment {
+            name: "fig3_demand_estimation",
+            title: "Figure 3: bank-demand estimation accuracy vs empirical optimum",
+            render: |e, c| table(fig3_demand_estimation(e, c)),
+        },
+        Experiment {
+            name: "fig4_ws_dbp",
+            title: "Figure 4: weighted speedup - shared vs equal-BP vs DBP (paper: DBP +4.3% over equal-BP)",
+            render: |e, c| {
+                format!("{}\n(weighted speedup: higher is better)", fig4_ws_dbp(e, c))
+            },
+        },
+        Experiment {
+            name: "fig5_ms_dbp",
+            title: "Figure 5: maximum slowdown - shared vs equal-BP vs DBP (paper: DBP improves fairness 16% over equal-BP)",
+            render: |e, c| {
+                format!("{}\n(maximum slowdown: lower is better/fairer)", fig5_ms_dbp(e, c))
+            },
+        },
+        Experiment {
+            name: "fig6_row_hits",
+            title: "Figure 6: system row-buffer hit rate per policy",
+            render: |e, c| table(fig6_row_hits(e, c)),
+        },
+        Experiment {
+            name: "fig7_dbp_tcm",
+            title: "Figure 7: composing DBP with TCM (paper: DBP-TCM +6.2% WS, +16.7% fairness over TCM)",
+            render: |e, c| {
+                format!(
+                    "{}\n(weighted speedup: higher is better)\n\n{}\n(maximum slowdown: lower is better/fairer)",
+                    fig7_dbp_tcm_ws(e, c),
+                    fig7_dbp_tcm_ms(e, c)
+                )
+            },
+        },
+        Experiment {
+            name: "fig8_vs_mcp",
+            title: "Figure 8: DBP-TCM vs MCP (paper: +5.3% WS, +37% fairness)",
+            render: |e, c| {
+                let (ws, ms) = fig8_vs_mcp(e, c);
+                format!(
+                    "{ws}\n(weighted speedup: higher is better)\n\n{ms}\n(maximum slowdown: lower is better/fairer)"
+                )
+            },
+        },
+        Experiment {
+            name: "fig9_banks_sweep",
+            title: "Figure 9: sensitivity to total bank count",
+            render: |e, c| table(fig9_banks_sweep(e, c)),
+        },
+        Experiment {
+            name: "fig10_channels_sweep",
+            title: "Figure 10: sensitivity to channel count",
+            render: |e, c| table(fig10_channels_sweep(e, c)),
+        },
+        Experiment {
+            name: "fig11_cores_sweep",
+            title: "Figure 11: sensitivity to core count (scaled mixes)",
+            render: |e, c| table(fig11_cores_sweep(e, c)),
+        },
+        Experiment {
+            name: "fig12_epoch_sweep",
+            title: "Figure 12: sensitivity to the repartitioning epoch",
+            render: |e, c| table(fig12_epoch_sweep(e, c)),
+        },
+        Experiment {
+            name: "abl1_alpha",
+            title: "Ablation 1: demand head-room coefficient alpha",
+            render: |e, c| table(abl1_alpha(e, c)),
+        },
+        Experiment {
+            name: "abl2_grouping",
+            title: "Ablation 2: grouping non-intensive threads on a shared slice",
+            render: |e, c| table(abl2_grouping(e, c)),
+        },
+        Experiment {
+            name: "abl3_migration",
+            title: "Ablation 3: page-migration cost model",
+            render: |e, c| table(abl3_migration(e, c)),
+        },
+        Experiment {
+            name: "ext1_energy",
+            title: "Extension: DRAM energy by policy (activate savings from partitioning)",
+            render: |e, c| table(ext1_energy(e, c)),
+        },
+        Experiment {
+            name: "ext2_mapping",
+            title: "Extension: DBP under permutation-based (XOR) bank mapping",
+            render: |e, c| table(ext2_mapping(e, c)),
+        },
+        Experiment {
+            name: "ext3_schedulers",
+            title: "Extension: scheduler landscape (FCFS..TCM), shared vs +DBP",
+            render: |e, c| {
+                format!("{}\n(WS higher is better; MS lower is fairer)", ext3_schedulers(e, c))
+            },
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn eng() -> Engine {
+        Engine::with_workers(2)
+    }
 
     #[test]
     fn table3_lists_all_mixes() {
@@ -594,7 +796,7 @@ mod tests {
 
     #[test]
     fn table1_renders() {
-        let t = table1_config(&SimConfig::default());
+        let t = table1_config(&eng(), &SimConfig::default());
         assert!(t.render().contains("DDR3"));
         assert!(t.len() > 10);
     }
@@ -610,7 +812,7 @@ mod tests {
 
     #[test]
     fn fig1_smoke() {
-        let t = fig1_motivation(&smoke_cfg());
+        let t = fig1_motivation(&eng(), &smoke_cfg());
         assert_eq!(t.len(), 2);
         assert!(t.render().contains("libquantum"));
     }
@@ -619,21 +821,44 @@ mod tests {
     fn fig2_smoke() {
         let mut cfg = smoke_cfg();
         cfg.target_instructions = 15_000;
-        let t = fig2_equal_blp_loss(&cfg);
+        let t = fig2_equal_blp_loss(&eng(), &cfg);
         // 3 benchmarks x 4 budgets.
         assert_eq!(t.len(), 12);
     }
 
     #[test]
     fn ext1_energy_smoke() {
-        // One mix is enough to exercise the energy plumbing; shrink the
-        // sweep by reusing the comparison engine directly would require
-        // exposure, so just accept the cost with a tiny config.
+        // One mix is enough to exercise the energy plumbing, but the
+        // table shape needs all four policies; use a tiny config.
         let mut cfg = smoke_cfg();
         cfg.target_instructions = 10_000;
         cfg.warmup_instructions = 5_000;
-        let t = ext1_energy(&cfg);
+        let t = ext1_energy(&eng(), &cfg);
         assert_eq!(t.len(), 4);
         assert!(t.render().contains("DBP"));
+    }
+
+    #[test]
+    fn registry_names_match_binaries_and_are_unique() {
+        let exps = all();
+        assert_eq!(exps.len(), 21);
+        let mut names: Vec<_> = exps.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn renders_are_byte_identical_serial_vs_parallel() {
+        // The determinism contract of the whole harness: an experiment
+        // rendered through a 1-worker engine and a many-worker engine
+        // must produce identical bytes (the CI gate asserts the same for
+        // the full quick suite).
+        let cfg = smoke_cfg();
+        let exp = all().into_iter().find(|e| e.name == "fig1_motivation").expect("registered");
+        let serial = (exp.render)(&Engine::with_workers(1), &cfg);
+        let parallel = (exp.render)(&Engine::with_workers(4), &cfg);
+        assert_eq!(serial, parallel);
     }
 }

@@ -2,8 +2,7 @@
 //! and alone-run reuse.
 
 use dbp_core::policy::PolicyKind;
-use dbp_sim::{runner, SchedulerKind, SimConfig};
-use dbp_workloads::Mix;
+use dbp_sim::{SchedulerKind, SimConfig};
 
 /// A labelled (scheduler, policy) point in the comparison space.
 #[derive(Debug, Clone, Copy)]
@@ -78,10 +77,11 @@ pub fn quick() -> bool {
     std::env::var_os("DBP_QUICK").is_some()
 }
 
-/// The Table 1 system configuration, scaled down if `DBP_QUICK` is set.
-pub fn base_config() -> SimConfig {
+/// The Table 1 system configuration, optionally scaled down to the
+/// quick (CI/smoke) instruction targets.
+pub fn config_for(quick: bool) -> SimConfig {
     let mut cfg = SimConfig::default();
-    if quick() {
+    if quick {
         cfg.warmup_instructions = 60_000;
         cfg.target_instructions = 150_000;
         cfg.epoch_cpu_cycles = 150_000;
@@ -90,15 +90,9 @@ pub fn base_config() -> SimConfig {
     cfg
 }
 
-/// Measure one mix under several combos, reusing the alone runs.
-///
-/// Returns `(alone_ipcs, per-combo MixRun)` in combo order.
-pub fn run_combos(cfg: &SimConfig, mix: &Mix, combos: &[Combo]) -> Vec<runner::MixRun> {
-    let alone = runner::alone_ipcs(cfg, mix);
-    combos
-        .iter()
-        .map(|combo| runner::run_mix_with_alone(&combo.apply(cfg), mix, alone.clone()))
-        .collect()
+/// The Table 1 system configuration, scaled down if `DBP_QUICK` is set.
+pub fn base_config() -> SimConfig {
+    config_for(quick())
 }
 
 #[cfg(test)]

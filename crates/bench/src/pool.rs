@@ -1,0 +1,123 @@
+//! A zero-dependency parallel work pool for the experiment suite.
+//!
+//! [`par_map`] runs every item of a batch through a closure on a crew of
+//! scoped worker threads pulling from a shared queue (work stealing in
+//! the "whoever is free takes the next job" sense), and collects the
+//! results *by index*, so the output order — and therefore every table
+//! built from it — is byte-identical to a serial run of the same batch.
+//!
+//! Worker count comes from [`default_workers`]:
+//! `std::thread::available_parallelism`, overridable with the `DBP_JOBS`
+//! environment variable (`DBP_JOBS=1` forces the serial path, which the
+//! CI determinism gate diffs against a parallel run).
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Parse a `DBP_JOBS`-style override: a positive worker count, or `None`
+/// for absent/unparseable values (then the hardware decides).
+pub fn workers_from(value: Option<&str>) -> Option<usize> {
+    value.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n >= 1)
+}
+
+/// The worker count the suite should use: `DBP_JOBS` if set to a
+/// positive integer, else the machine's available parallelism.
+pub fn default_workers() -> usize {
+    let env = std::env::var("DBP_JOBS").ok();
+    workers_from(env.as_deref()).unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    })
+}
+
+/// Map `f` over `items` on up to `workers` threads, preserving order.
+///
+/// Each worker repeatedly pops the next `(index, item)` off a shared
+/// queue and stores `f(item)` into slot `index`, so the result vector is
+/// independent of scheduling. With `workers <= 1` (or a single item) the
+/// batch runs inline on the caller's thread — the serial reference the
+/// parallel path must match byte-for-byte.
+///
+/// # Panics
+///
+/// A panic inside `f` aborts the whole batch (scoped threads propagate
+/// it), so a failed job — e.g. an alone run hitting its cycle cap —
+/// stops the experiment with its diagnostic instead of producing a
+/// partial table.
+pub fn par_map<I, T>(workers: usize, items: Vec<I>, f: impl Fn(I) -> T + Sync) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+{
+    let n = items.len();
+    if workers <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue: Mutex<VecDeque<(usize, I)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(n) {
+            s.spawn(|| loop {
+                let job = queue.lock().expect("job queue poisoned").pop_front();
+                let Some((i, item)) = job else { break };
+                let out = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker completed every job")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let out = par_map(4, (0..100u64).collect(), |i| i * i);
+        assert_eq!(out, (0..100u64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let items: Vec<u64> = (0..57).collect();
+        let serial = par_map(1, items.clone(), |i| i.wrapping_mul(0x9e37_79b9));
+        let parallel = par_map(8, items, |i| i.wrapping_mul(0x9e37_79b9));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_single_batches() {
+        assert!(par_map(4, Vec::<u8>::new(), |v| v).is_empty());
+        assert_eq!(par_map(4, vec![7u8], |v| v + 1), vec![8]);
+    }
+
+    #[test]
+    fn jobs_override_parses() {
+        assert_eq!(workers_from(Some("4")), Some(4));
+        assert_eq!(workers_from(Some(" 2 ")), Some(2));
+        assert_eq!(workers_from(Some("0")), None, "zero workers is nonsense");
+        assert_eq!(workers_from(Some("lots")), None);
+        assert_eq!(workers_from(None), None);
+        assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn workers_share_one_queue() {
+        // More jobs than workers with uneven costs: every job must still
+        // land in its own slot exactly once.
+        let out = par_map(3, (0..40u64).collect(), |i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i + 1
+        });
+        assert_eq!(out, (1..=40u64).collect::<Vec<_>>());
+    }
+}

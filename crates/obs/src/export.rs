@@ -65,6 +65,49 @@ pub fn metrics_document(t: &Telemetry, summary: Json) -> Json {
     ])
 }
 
+/// Timing of one experiment inside a `bench_all` suite run, destined for
+/// the suite-timing JSON published next to `BENCH_results.json`.
+#[derive(Debug, Clone)]
+pub struct SuiteExperimentTiming {
+    /// Experiment (binary) name, e.g. `fig4_ws_dbp`.
+    pub name: String,
+    /// Wall-clock for this experiment, nanoseconds.
+    pub wall_ns: u128,
+    /// Simulation jobs dispatched (shared + solo + auxiliary runs).
+    pub jobs: u64,
+    /// Solo runs answered from the memoized cache instead of re-running.
+    pub solo_cache_hits: u64,
+}
+
+/// Build the experiment-suite timing document: per-experiment wall clock
+/// and job counts, plus the pool configuration that produced them. CI
+/// publishes this alongside the micro-bench `BENCH_results.json` to
+/// track the suite's wall-clock trajectory across PRs.
+pub fn suite_timing_document(
+    workers: usize,
+    quick: bool,
+    total_wall_ns: u128,
+    rows: &[SuiteExperimentTiming],
+) -> Json {
+    Json::obj([
+        ("format_version", Json::uint(FORMAT_VERSION)),
+        ("workers", Json::uint(workers as u64)),
+        ("quick", Json::Bool(quick)),
+        ("total_wall_ns", Json::uint(total_wall_ns as u64)),
+        (
+            "experiments",
+            Json::arr(rows.iter().map(|r| {
+                Json::obj([
+                    ("name", Json::str(&r.name)),
+                    ("wall_ns", Json::uint(r.wall_ns as u64)),
+                    ("jobs", Json::uint(r.jobs)),
+                    ("solo_cache_hits", Json::uint(r.solo_cache_hits)),
+                ])
+            })),
+        ),
+    ])
+}
+
 /// `trace_event` instant ("i") event on the process/thread rows.
 fn chrome_instant(ev: &TraceEvent) -> Json {
     Json::obj([
@@ -249,6 +292,34 @@ mod tests {
             .collect();
         assert!(names.contains(&"sim"));
         assert!(names.contains(&"thread 1"));
+    }
+
+    #[test]
+    fn suite_timing_document_round_trips() {
+        let rows = vec![
+            SuiteExperimentTiming {
+                name: "fig4_ws_dbp".to_string(),
+                wall_ns: 1_234_567,
+                jobs: 105,
+                solo_cache_hits: 120,
+            },
+            SuiteExperimentTiming {
+                name: "table3_mixes".to_string(),
+                wall_ns: 1_000,
+                jobs: 0,
+                solo_cache_hits: 0,
+            },
+        ];
+        let doc = suite_timing_document(4, true, 9_999_999, &rows);
+        let back = json::parse(&doc.to_json()).expect("suite timing doc must be valid JSON");
+        assert_eq!(back.get("format_version").and_then(Json::as_num), Some(1.0));
+        assert_eq!(back.get("workers").and_then(Json::as_num), Some(4.0));
+        assert_eq!(back.get("total_wall_ns").and_then(Json::as_num), Some(9_999_999.0));
+        let exps = back.get("experiments").and_then(Json::as_arr).unwrap();
+        assert_eq!(exps.len(), 2);
+        assert_eq!(exps[0].get("name").and_then(Json::as_str), Some("fig4_ws_dbp"));
+        assert_eq!(exps[0].get("jobs").and_then(Json::as_num), Some(105.0));
+        assert_eq!(exps[0].get("solo_cache_hits").and_then(Json::as_num), Some(120.0));
     }
 
     #[test]

@@ -25,6 +25,25 @@ pub struct MixRun {
 }
 
 impl MixRun {
+    /// Assemble a measured mix from already-computed parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alone_ipcs` does not hold exactly one baseline per core
+    /// of `mix` — a stale cache entry for a different core count must
+    /// fail loudly instead of indexing metrics against the wrong
+    /// baselines.
+    pub fn from_parts(mix: &Mix, alone_ipcs: Vec<f64>, shared: RunResult) -> MixRun {
+        assert_eq!(
+            alone_ipcs.len(),
+            mix.cores(),
+            "alone-run baseline count does not match mix `{}` core count",
+            mix.name
+        );
+        let metrics = MixMetrics::new(&alone_ipcs, &shared.ipcs());
+        MixRun { mix_name: mix.name, alone_ipcs, shared, metrics }
+    }
+
     /// Weighted speedup of the shared run.
     pub fn weighted_speedup(&self) -> f64 {
         self.metrics.weighted_speedup
@@ -36,16 +55,26 @@ impl MixRun {
     }
 }
 
-/// Deterministic seed for (mix, core): FNV-1a over the mix name plus the
-/// core index, so repeated benchmarks in scaled mixes get distinct
-/// streams.
+/// Deterministic seed for (mix, core): FNV-1a over the mix name, the
+/// benchmark name, and the core index, so repeated benchmarks in scaled
+/// mixes get distinct streams.
+///
+/// The core index is folded into the FNV stream itself (not XORed onto
+/// the result afterwards): two cores running the same benchmark in the
+/// same mix must get seeds that differ throughout the word, not in a
+/// couple of high bits, or their generator streams start out correlated.
 pub fn seed_for(mix: &Mix, core: usize) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in mix.name.bytes().chain(mix.benchmarks[core].bytes()) {
+    let bytes = mix
+        .name
+        .bytes()
+        .chain(mix.benchmarks[core].bytes())
+        .chain((core as u64).to_le_bytes());
+    for b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x1000_0000_01b3);
     }
-    h ^ (core as u64) << 32
+    h
 }
 
 /// The synthetic trace for one core of a mix.
@@ -54,21 +83,108 @@ pub fn trace_for(mix: &Mix, core: usize) -> Box<dyn TraceSource> {
     Box::new(SyntheticTrace::new(profile, seed_for(mix, core)))
 }
 
-/// Alone-run IPC of every benchmark in `mix`: each runs by itself on the
-/// full memory system (FR-FCFS, unpartitioned), regardless of what
-/// `cfg` selects for the shared run.
-pub fn alone_ipcs(cfg: &SimConfig, mix: &Mix) -> Vec<f64> {
+/// The configuration an alone run actually executes under: the shared
+/// run's system with the baseline FR-FCFS scheduler and no partitioning,
+/// regardless of what `cfg` selects for the shared run.
+pub fn alone_config(cfg: &SimConfig) -> SimConfig {
     let mut alone_cfg = cfg.clone();
     alone_cfg.scheduler = SchedulerKind::FrFcfs;
     alone_cfg.policy = PolicyKind::Unpartitioned;
-    (0..mix.cores())
-        .map(|i| {
-            let mut sys = System::new(alone_cfg.clone(), vec![trace_for(mix, i)]);
-            let r = sys.run();
-            debug_assert!(r.reached_target, "alone run hit the cycle cap");
-            r.threads[0].ipc
-        })
-        .collect()
+    alone_cfg
+}
+
+/// The [`SimConfig`] fields that can influence an alone run, rendered as
+/// a stable string (a memoization key for solo-run caches).
+///
+/// Scheduler, policy, and the migration knobs are deliberately excluded:
+/// alone runs always execute under FR-FCFS/Unpartitioned (see
+/// [`alone_config`]), and with a static whole-machine partition no page
+/// ever migrates, so those fields cannot change the outcome. Everything
+/// else — DRAM geometry/timing/mapping, controller queues, core model,
+/// cache hierarchy, clock ratio, epoch length (it sets the minimum
+/// warmup span), and the instruction targets — is included.
+pub fn alone_fingerprint(cfg: &SimConfig) -> String {
+    format!(
+        "dram={:?};ctrl={:?};core={:?};hier={:?};mshrs={};ratio={};epoch={};warm={};target={};cap={};feed={}",
+        cfg.dram,
+        cfg.ctrl,
+        cfg.core,
+        cfg.hierarchy,
+        cfg.mshrs,
+        cfg.cpu_per_dram,
+        cfg.epoch_cpu_cycles,
+        cfg.warmup_instructions,
+        cfg.target_instructions,
+        cfg.max_cpu_cycles,
+        cfg.instr_feed_interval,
+    )
+}
+
+/// An alone run hit the cycle cap before reaching its instruction
+/// target: its IPC would be truncated, and every weighted-speedup /
+/// maximum-slowdown number derived from it silently wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AloneRunError {
+    pub mix: &'static str,
+    pub benchmark: &'static str,
+    pub core: usize,
+    pub max_cpu_cycles: u64,
+    pub target_instructions: u64,
+}
+
+impl std::fmt::Display for AloneRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "alone run of `{}` (core {} of mix `{}`) hit the cycle cap: \
+             {} CPU cycles elapsed before the target of {} instructions; \
+             its IPC would be a truncated lower bound, poisoning every \
+             metric derived from it — raise max_cpu_cycles or lower \
+             target_instructions",
+            self.benchmark, self.core, self.mix, self.max_cpu_cycles, self.target_instructions
+        )
+    }
+}
+
+impl std::error::Error for AloneRunError {}
+
+/// Alone-run IPC of one benchmark of `mix`, or an error if the run hit
+/// the cycle cap before the instruction target.
+pub fn try_alone_ipc(cfg: &SimConfig, mix: &Mix, core: usize) -> Result<f64, AloneRunError> {
+    let mut sys = System::new(alone_config(cfg), vec![trace_for(mix, core)]);
+    let r = sys.run();
+    if !r.reached_target {
+        return Err(AloneRunError {
+            mix: mix.name,
+            benchmark: mix.benchmarks[core],
+            core,
+            max_cpu_cycles: cfg.max_cpu_cycles,
+            target_instructions: cfg.target_instructions,
+        });
+    }
+    Ok(r.threads[0].ipc)
+}
+
+/// Alone-run IPC of one benchmark of `mix`.
+///
+/// # Panics
+///
+/// Panics — in every build profile, not just debug — if the run hits the
+/// cycle cap before the instruction target (see [`AloneRunError`]).
+pub fn alone_ipc(cfg: &SimConfig, mix: &Mix, core: usize) -> f64 {
+    try_alone_ipc(cfg, mix, core).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Alone-run IPC of every benchmark in `mix`: each runs by itself on the
+/// full memory system (FR-FCFS, unpartitioned), regardless of what
+/// `cfg` selects for the shared run.
+///
+/// # Panics
+///
+/// Panics — in every build profile — if any alone run hits the cycle cap
+/// before the instruction target (see [`AloneRunError`]).
+pub fn alone_ipcs(cfg: &SimConfig, mix: &Mix) -> Vec<f64> {
+    (0..mix.cores()).map(|i| alone_ipc(cfg, mix, i)).collect()
 }
 
 /// The shared (co-scheduled) run of `mix` under `cfg`.
@@ -96,19 +212,20 @@ pub fn run_mix(cfg: &SimConfig, mix: &Mix) -> MixRun {
 
 /// Shared run + metrics, reusing already-measured alone IPCs (they do not
 /// depend on the scheduler/policy under test, so sweeps share them).
+///
+/// # Panics
+///
+/// Panics if `alone_ipcs.len() != mix.cores()` (see
+/// [`MixRun::from_parts`]).
 pub fn run_mix_with_alone(cfg: &SimConfig, mix: &Mix, alone_ipcs: Vec<f64>) -> MixRun {
-    let shared = run_shared(cfg, mix);
-    let metrics = MixMetrics::new(&alone_ipcs, &shared.ipcs());
-    MixRun { mix_name: mix.name, alone_ipcs, shared, metrics }
+    MixRun::from_parts(mix, alone_ipcs, run_shared(cfg, mix))
 }
 
 /// [`run_mix`], with the *shared* run emitting telemetry into `rec`
 /// (alone runs are calibration, not the experiment, so they stay silent).
 pub fn run_mix_recorded(cfg: &SimConfig, mix: &Mix, rec: dbp_obs::Recorder) -> MixRun {
     let alone_ipcs = alone_ipcs(cfg, mix);
-    let shared = run_shared_recorded(cfg, mix, rec);
-    let metrics = MixMetrics::new(&alone_ipcs, &shared.ipcs());
-    MixRun { mix_name: mix.name, alone_ipcs, shared, metrics }
+    MixRun::from_parts(mix, alone_ipcs, run_shared_recorded(cfg, mix, rec))
 }
 
 #[cfg(test)]
@@ -127,6 +244,73 @@ mod tests {
         let mixes = mixes_4core();
         assert_ne!(seed_for(&mixes[0], 0), seed_for(&mixes[0], 1));
         assert_ne!(seed_for(&mixes[0], 0), seed_for(&mixes[1], 0));
+    }
+
+    #[test]
+    fn seeds_differ_in_low_word_for_repeated_benchmarks() {
+        // A scaled mix repeats its benchmarks: cores 0 and 4 run the same
+        // program with the same mix name, so the *only* distinguisher is
+        // the core index. The old `h ^ (core << 32)` left such seeds
+        // identical in the low 32 bits (correlated generator streams);
+        // folding the core into the FNV stream must perturb both halves.
+        let m8 = dbp_workloads::scale_mix(&mixes_4core()[0], 8);
+        assert_eq!(m8.benchmarks[0], m8.benchmarks[4]);
+        let a = seed_for(&m8, 0);
+        let b = seed_for(&m8, 4);
+        assert_ne!(a & 0xffff_ffff, b & 0xffff_ffff, "low word must differ");
+        assert_ne!(a >> 32, b >> 32, "high word must differ");
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle cap")]
+    fn alone_run_hitting_cycle_cap_panics_in_every_profile() {
+        // A cycle cap far below what the instruction target needs: the
+        // old debug_assert! compiled away in --release and fed the
+        // truncated IPC straight into the headline metrics.
+        let mut cfg = tiny_cfg();
+        cfg.max_cpu_cycles = 10_000;
+        let _ = alone_ipcs(&cfg, &mixes_4core()[0]);
+    }
+
+    #[test]
+    fn try_alone_ipc_reports_cycle_cap_context() {
+        let mut cfg = tiny_cfg();
+        cfg.max_cpu_cycles = 10_000;
+        let mix = &mixes_4core()[0];
+        let err = try_alone_ipc(&cfg, mix, 1).unwrap_err();
+        assert_eq!(err.mix, mix.name);
+        assert_eq!(err.benchmark, mix.benchmarks[1]);
+        assert_eq!(err.core, 1);
+        let msg = err.to_string();
+        assert!(msg.contains("cycle cap") && msg.contains(mix.benchmarks[1]), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "core count")]
+    fn stale_alone_vector_for_wrong_core_count_fails_loudly() {
+        let cfg = tiny_cfg();
+        let mix = &mixes_4core()[0]; // 4 cores
+        run_mix_with_alone(&cfg, mix, vec![0.5, 0.5]); // stale 2-core cache entry
+    }
+
+    #[test]
+    fn alone_fingerprint_tracks_alone_relevant_fields_only() {
+        let cfg = tiny_cfg();
+        let base = alone_fingerprint(&cfg);
+        // Scheduler/policy/migration knobs cannot affect an alone run.
+        let mut c = cfg.clone();
+        c.scheduler = SchedulerKind::Tcm(Default::default());
+        c.policy = PolicyKind::Dbp(Default::default());
+        c.migration_budget_pages = None;
+        c.migration_cost = crate::config::MigrationCost::Free;
+        assert_eq!(alone_fingerprint(&c), base);
+        // DRAM geometry and the instruction target do.
+        let mut c = cfg.clone();
+        c.dram.banks_per_rank *= 2;
+        assert_ne!(alone_fingerprint(&c), base);
+        let mut c = cfg;
+        c.target_instructions += 1;
+        assert_ne!(alone_fingerprint(&c), base);
     }
 
     #[test]

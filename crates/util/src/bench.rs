@@ -56,7 +56,10 @@ impl Summary {
     }
 }
 
-fn fmt_ns(ns: u128) -> String {
+/// Human-readable wall time: picks ns/us/ms/s to keep 3-4 significant
+/// digits. Shared by the micro-bench report and the experiment-suite
+/// timing summary.
+pub fn fmt_ns(ns: u128) -> String {
     if ns >= 1_000_000_000 {
         format!("{:.3} s", ns as f64 / 1e9)
     } else if ns >= 1_000_000 {
@@ -65,6 +68,27 @@ fn fmt_ns(ns: u128) -> String {
         format!("{:.3} us", ns as f64 / 1e3)
     } else {
         format!("{ns} ns")
+    }
+}
+
+/// A wall-clock stopwatch for coarse phase timing (suite experiments,
+/// whole-run totals) — start it, do the work, read `elapsed_ns`.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch { started: Instant::now() }
+    }
+
+    /// Nanoseconds since `start`.
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u128 {
+        self.started.elapsed().as_nanos()
     }
 }
 
@@ -232,6 +256,22 @@ mod tests {
     #[test]
     fn env_override_parses() {
         assert_eq!(env_u32("DBP_BENCH_NO_SUCH_VAR", 17), 17);
+    }
+
+    #[test]
+    fn fmt_ns_picks_sane_units() {
+        assert_eq!(fmt_ns(12), "12 ns");
+        assert_eq!(fmt_ns(1_500), "1.500 us");
+        assert_eq!(fmt_ns(2_000_000), "2.000 ms");
+        assert_eq!(fmt_ns(3_210_000_000), "3.210 s");
+    }
+
+    #[test]
+    fn stopwatch_is_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ns();
+        let b = sw.elapsed_ns();
+        assert!(b >= a);
     }
 
     #[test]
