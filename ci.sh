@@ -38,3 +38,28 @@ DBP_QUICK=1 DBP_JOBS=2 ./target/release/bench_all \
     > target/ci-suite-parallel.txt
 diff target/ci-suite-serial.txt target/ci-suite-parallel.txt
 ./target/release/jsonlint --require-key experiments --require-key total_wall_ns SUITE_timing.json
+
+# Latency-anatomy gate. The breakdown invariant (components sum exactly
+# to the total, u64 equality) asserts in every build profile; run the
+# named tests in release to prove the checks survive optimisation.
+cargo test -q --release --offline --locked -p dbp-memctrl breakdown_components_sum
+cargo test -q --release --offline --locked -p dbp-obs record_read_rejects
+
+# The export must be deterministic: two identical seeded runs produce
+# byte-identical --latency-out JSON, and both jsonlint modes (file arg
+# and stdin) plus the dbpreport renderer must accept it.
+./target/release/dbpsim run --bench mcf,libquantum \
+    --instructions 30000 --warmup 10000 --epoch 20000 --policy shared \
+    --latency-out target/ci-latency.json > /dev/null
+./target/release/dbpsim run --bench mcf,libquantum \
+    --instructions 30000 --warmup 10000 --epoch 20000 --policy shared \
+    --latency-out target/ci-latency-repeat.json > /dev/null
+diff target/ci-latency.json target/ci-latency-repeat.json
+./target/release/jsonlint --require-key interference --require-key cores target/ci-latency.json
+./target/release/jsonlint --require-key interference < target/ci-latency.json
+./target/release/dbpreport target/ci-latency.json > /dev/null
+./target/release/dbpreport --md < target/ci-latency.json > /dev/null
+
+# Publish the rendered interference diagnostic (quick mode) as a CI
+# artifact next to BENCH_results.json / SUITE_timing.json.
+DBP_QUICK=1 ./target/release/diag_interference > REPORT_interference.txt 2> /dev/null

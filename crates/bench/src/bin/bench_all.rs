@@ -96,7 +96,8 @@ fn main() {
     );
 
     if let Some(path) = json_path {
-        let doc = suite_timing_document(eng.workers(), quick, total_ns, &rows);
+        let doc =
+            suite_timing_document(eng.workers(), quick, total_ns, &rows, &eng.take_annotations());
         match std::fs::write(&path, doc.to_json()) {
             Ok(()) => eprintln!("bench_all: wrote suite timing JSON to {path}"),
             Err(e) => {

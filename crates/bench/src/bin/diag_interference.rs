@@ -1,0 +1,8 @@
+//! Diagnostic: latency anatomy & interference attribution (Fig. 1 mix)
+//!
+//! Run: `cargo run --release -p dbp-bench --bin diag_interference`
+//! (set `DBP_QUICK=1` for a fast, noisier version).
+
+fn main() {
+    dbp_bench::run_bin("diag_interference");
+}

@@ -23,6 +23,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Mutex;
 
+use dbp_obs::Json;
 use dbp_sim::runner::{self, MixRun};
 use dbp_sim::{RunResult, SimConfig};
 use dbp_workloads::Mix;
@@ -75,6 +76,7 @@ pub struct Engine {
     workers: usize,
     cache: Mutex<HashMap<SoloKey, f64>>,
     stats: Mutex<EngineStats>,
+    annotations: Mutex<Vec<(String, Json)>>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -112,6 +114,7 @@ impl Engine {
             workers: workers.max(1),
             cache: Mutex::new(HashMap::new()),
             stats: Mutex::new(EngineStats::default()),
+            annotations: Mutex::new(Vec::new()),
         }
     }
 
@@ -133,6 +136,23 @@ impl Engine {
     /// Solo runs currently memoized.
     pub fn cached_solo_runs(&self) -> usize {
         self.cache.lock().expect("cache poisoned").len()
+    }
+
+    /// Attach a machine-readable side result (e.g. an experiment's
+    /// percentile summary) for the suite-timing JSON. Re-annotating a key
+    /// replaces its value, keeping reruns idempotent.
+    pub fn annotate(&self, key: impl Into<String>, value: Json) {
+        let key = key.into();
+        let mut anns = self.annotations.lock().expect("annotations poisoned");
+        match anns.iter_mut().find(|(k, _)| *k == key) {
+            Some(slot) => slot.1 = value,
+            None => anns.push((key, value)),
+        }
+    }
+
+    /// Drain the accumulated annotations (insertion order preserved).
+    pub fn take_annotations(&self) -> Vec<(String, Json)> {
+        std::mem::take(&mut *self.annotations.lock().expect("annotations poisoned"))
     }
 
     /// Run the full (mix × combo) grid of `cfg`: every shared run and

@@ -625,6 +625,72 @@ pub fn ext3_schedulers(eng: &Engine, cfg: &SimConfig) -> Table {
     t
 }
 
+/// Diagnostic: per-request latency anatomy and the interference
+/// attribution matrices for the Figure 1 motivation mix, under the three
+/// headline policies. This is the observability companion to Figures 1,
+/// 4 and 5: it shows *where* the unpartitioned system's latency goes
+/// (queueing behind the other core, bank conflicts, bus contention) and
+/// that bank partitioning zeroes the cross-core bank interference while
+/// leaving bus-level contention visible.
+///
+/// Also publishes a machine-readable percentile summary per policy as a
+/// `bench_all --json` annotation (`diag_interference`).
+pub fn diag_interference(eng: &Engine, cfg: &SimConfig) -> String {
+    use dbp_obs::latency::latency_report_text;
+    use dbp_obs::Json;
+
+    let mix = Mix {
+        name: "motivation",
+        intensive_pct: 100,
+        benchmarks: vec!["libquantum", "mcf"],
+    };
+    let combos = [harness::shared(), harness::equal_bp(), harness::dbp()];
+    let runs = eng.par_map(
+        combos.iter().map(|combo| combo.apply(cfg)).collect(),
+        |run_cfg| dbp_sim::runner::run_shared_latency(&run_cfg, &mix),
+    );
+
+    let mut headline = Table::new([
+        "policy",
+        "reads",
+        "mean",
+        "p50",
+        "p90",
+        "p99",
+        "bank x-core",
+        "bus x-core",
+    ]);
+    let mut out = String::new();
+    let mut annotations = Vec::new();
+    for (combo, (_, rep)) in combos.iter().zip(&runs) {
+        let mut all = dbp_obs::Histogram::new();
+        for core in &rep.cores {
+            all.merge(&core.read);
+        }
+        headline.row([
+            combo.label.to_owned(),
+            all.count().to_string(),
+            format!("{:.1}", all.mean()),
+            all.value_at_quantile(0.50).to_string(),
+            all.value_at_quantile(0.90).to_string(),
+            all.value_at_quantile(0.99).to_string(),
+            rep.bank_interference.off_diagonal_sum().to_string(),
+            rep.bus_interference.off_diagonal_sum().to_string(),
+        ]);
+        annotations.push((combo.label.to_owned(), rep.summary_json()));
+    }
+    eng.annotate("diag_interference", Json::Obj(annotations));
+    out.push_str(&headline.to_string());
+    out.push_str(
+        "(read latency in DRAM cycles; x-core = cycles a core's oldest read was\n \
+         blocked on a bank/the bus held by the other core)\n",
+    );
+    for (combo, (_, rep)) in combos.iter().zip(&runs) {
+        out.push_str(&format!("\n--- {} ---\n{}", combo.label, latency_report_text(rep)));
+    }
+    out
+}
+
 /// A registered experiment: its binary name, the `== title ==` banner the
 /// binary prints, and a renderer producing the full stdout body (tables
 /// plus reading-direction footnotes).
@@ -768,6 +834,11 @@ pub fn all() -> Vec<Experiment> {
                 format!("{}\n(WS higher is better; MS lower is fairer)", ext3_schedulers(e, c))
             },
         },
+        Experiment {
+            name: "diag_interference",
+            title: "Diagnostic: latency anatomy & interference attribution (Fig. 1 mix, shared vs equal-BP vs DBP)",
+            render: diag_interference,
+        },
     ]
 }
 
@@ -841,7 +912,7 @@ mod tests {
     #[test]
     fn registry_names_match_binaries_and_are_unique() {
         let exps = all();
-        assert_eq!(exps.len(), 21);
+        assert_eq!(exps.len(), 22);
         let mut names: Vec<_> = exps.iter().map(|e| e.name).collect();
         names.sort_unstable();
         let n = names.len();
@@ -854,11 +925,58 @@ mod tests {
         // The determinism contract of the whole harness: an experiment
         // rendered through a 1-worker engine and a many-worker engine
         // must produce identical bytes (the CI gate asserts the same for
-        // the full quick suite).
+        // the full quick suite). `diag_interference` additionally pins
+        // the latency-anatomy path: per-cycle attribution and histogram
+        // merges must not depend on worker scheduling.
         let cfg = smoke_cfg();
-        let exp = all().into_iter().find(|e| e.name == "fig1_motivation").expect("registered");
-        let serial = (exp.render)(&Engine::with_workers(1), &cfg);
-        let parallel = (exp.render)(&Engine::with_workers(4), &cfg);
-        assert_eq!(serial, parallel);
+        for name in ["fig1_motivation", "diag_interference"] {
+            let exp = all().into_iter().find(|e| e.name == name).expect("registered");
+            let serial = (exp.render)(&Engine::with_workers(1), &cfg);
+            let parallel = (exp.render)(&Engine::with_workers(4), &cfg);
+            assert_eq!(serial, parallel, "{name} must not depend on DBP_JOBS");
+        }
+    }
+
+    /// The interference-matrix shape the whole diagnostic exists to
+    /// show, regression-tested on the Fig. 1 motivation mix: private
+    /// banks (equal-BP, and DBP once settled) eliminate cross-core
+    /// *bank* interference that the unpartitioned system suffers, while
+    /// the shared bus stays contended under every policy.
+    #[test]
+    fn diag_interference_matrix_sanity() {
+        let cfg = smoke_cfg();
+        let mix = Mix {
+            name: "motivation",
+            intensive_pct: 100,
+            benchmarks: vec!["libquantum", "mcf"],
+        };
+        let report_for = |combo: Combo| {
+            dbp_sim::runner::run_shared_latency(&combo.apply(&cfg), &mix).1
+        };
+        let shared = report_for(harness::shared());
+        let equal = report_for(harness::equal_bp());
+        let dbp = report_for(harness::dbp());
+
+        assert!(shared.total_reads() > 0 && equal.total_reads() > 0 && dbp.total_reads() > 0);
+        let shared_bank = shared.bank_interference.off_diagonal_sum();
+        assert!(
+            shared_bank > 0,
+            "unpartitioned banks must show cross-core bank interference"
+        );
+        assert_eq!(
+            equal.bank_interference.off_diagonal_sum(),
+            0,
+            "equal-BP gives each core private banks: cross-core bank entries must vanish"
+        );
+        assert!(
+            dbp.bank_interference.off_diagonal_sum() <= shared_bank / 5,
+            "DBP must eliminate nearly all cross-core bank interference (shared {} vs dbp {})",
+            shared_bank,
+            dbp.bank_interference.off_diagonal_sum()
+        );
+        assert!(
+            equal.bus_interference.off_diagonal_sum() > 0,
+            "the data bus stays shared under bank partitioning"
+        );
     }
 }

@@ -63,6 +63,17 @@ impl Command {
         Command::Precharge { loc: Loc::new(channel, rank, bank) }
     }
 
+    /// The command's bank location (`None` for rank-wide refresh).
+    pub fn loc(&self) -> Option<Loc> {
+        match self {
+            Command::Activate { loc, .. }
+            | Command::Read { loc, .. }
+            | Command::Write { loc, .. }
+            | Command::Precharge { loc } => Some(*loc),
+            Command::RefreshRank { .. } => None,
+        }
+    }
+
     /// The command's channel.
     pub fn channel(&self) -> u32 {
         match self {

@@ -16,6 +16,19 @@ pub struct IssueResult {
     pub data_ready_at: Option<Cycle>,
 }
 
+/// The resource class gating a row-hit read, as reported by
+/// [`Dram::column_gate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnGate {
+    /// Every timing constraint except command-bus arbitration holds.
+    Ready,
+    /// The bank is not ready: tRCD after its activate, or rank refresh.
+    Bank,
+    /// Only bus-level spacing blocks it: tCCD, write-to-read turnaround,
+    /// data-bus occupancy, or the rank-switch penalty.
+    Bus,
+}
+
 /// A multi-channel DDR3 device.
 ///
 /// The device is passive: the memory controller polls [`Dram::can_issue`]
@@ -175,6 +188,38 @@ impl Dram {
             return false;
         }
         matches!(self.earliest_issue(cmd, now), Some(at) if at == now)
+    }
+
+    /// Whether `cmd` satisfies every bank/rank/data-bus timing constraint
+    /// at `now`, ignoring command-bus arbitration. Diagnostic query used
+    /// by the latency-anatomy classifier to separate "the device is not
+    /// ready" from "another command won the slot".
+    pub fn timing_ready(&self, cmd: &Command, now: Cycle) -> bool {
+        matches!(self.earliest_issue_inner(cmd, now), Some(at) if at == now)
+    }
+
+    /// Which resource class is gating a row-hit `Read` at `now`:
+    /// [`ColumnGate::Bank`] when the bank itself is not ready (tRCD after
+    /// ACT, rank refresh), [`ColumnGate::Bus`] when only data/command-bus
+    /// spacing blocks it (tCCD, write-to-read turnaround, burst
+    /// occupancy, rank-switch penalty), [`ColumnGate::Ready`] when every
+    /// constraint except command-bus arbitration is satisfied. `None`
+    /// when the bank has no open row or `cmd` is not a `Read`.
+    pub fn column_gate(&self, cmd: &Command, now: Cycle) -> Option<ColumnGate> {
+        let Command::Read { loc, .. } = *cmd else { return None };
+        let b = &self.banks[self.bank_idx(loc)];
+        b.open_row?;
+        let t = &self.cfg.timing;
+        let r = &self.ranks[self.rank_idx(loc.channel, loc.rank)];
+        if b.next_read.max(r.refresh_done) > now {
+            return Some(ColumnGate::Bank);
+        }
+        let ch = &self.channels[loc.channel as usize];
+        let data_gate = ch.data_start(loc.rank, t.t_rtrs).saturating_sub(Cycle::from(t.cl));
+        if r.next_read.max(ch.next_read).max(data_gate) > now {
+            return Some(ColumnGate::Bus);
+        }
+        Some(ColumnGate::Ready)
     }
 
     /// Issue `cmd` at `now`, updating all timing state.
@@ -466,6 +511,56 @@ mod tests {
     fn issuing_illegal_command_panics() {
         let mut d = dev();
         d.issue(&Command::read(0, 0, 0, 0, 0, false), 0);
+    }
+
+    #[test]
+    fn column_gate_tracks_bank_then_bus_then_ready() {
+        let mut d = dev();
+        let rd = Command::read(0, 0, 0, 5, 0, false);
+        // Closed bank: no gate at all.
+        assert_eq!(d.column_gate(&rd, 0), None);
+        d.issue(&Command::activate(0, 0, 0, 5), 0);
+        // During tRCD the bank itself is not ready.
+        assert_eq!(d.column_gate(&rd, 1), Some(ColumnGate::Bank));
+        let ready_at = Cycle::from(t().t_rcd);
+        assert_eq!(d.column_gate(&rd, ready_at), Some(ColumnGate::Ready));
+        d.issue(&rd, ready_at);
+        // Immediately after a read, only column/bus spacing (tCCD, data
+        // burst) blocks the next read on the same open row.
+        assert_eq!(d.column_gate(&rd, ready_at + 1), Some(ColumnGate::Bus));
+        // Non-read commands report no gate.
+        assert_eq!(d.column_gate(&Command::precharge(0, 0, 0), ready_at), None);
+    }
+
+    #[test]
+    fn column_gate_reports_bank_during_refresh() {
+        let mut d = dev();
+        d.issue(&Command::activate(0, 0, 1, 5), 0);
+        let pre = Command::precharge(0, 0, 1);
+        let tp = d.earliest_issue(&pre, 0).unwrap();
+        d.issue(&pre, tp);
+        let rf = Command::RefreshRank { channel: 0, rank: 0 };
+        let tr = d.earliest_issue(&rf, tp).unwrap();
+        d.issue(&rf, tr);
+        // Open a row elsewhere is impossible during tRFC, so emulate a
+        // pre-refresh open row by checking timing_ready on an ACT.
+        let act = Command::activate(0, 0, 0, 3);
+        assert!(!d.timing_ready(&act, tr + 1));
+        assert!(d.timing_ready(&act, tr + Cycle::from(t().t_rfc)));
+    }
+
+    #[test]
+    fn timing_ready_ignores_command_bus() {
+        let mut d = dev();
+        d.issue(&Command::activate(0, 0, 0, 5), 0);
+        // Same cycle: the command bus is taken, but bank timing for an
+        // ACT on another bank is satisfied.
+        let act2 = Command::activate(0, 0, 2, 1);
+        assert!(!d.can_issue(&act2, 0), "command bus busy");
+        // tRRD pushes the other bank's ACT out; at tRRD it is timing-ready.
+        assert!(!d.timing_ready(&act2, 0));
+        let at = Cycle::from(t().t_rrd);
+        assert!(d.timing_ready(&act2, at));
     }
 }
 

@@ -48,7 +48,7 @@ pub mod timing;
 pub use address::{AddressMapper, ColorId, DecodedAddr, MappingScheme};
 pub use command::{Command, CommandKind, Loc};
 pub use config::{DramConfig, RowPolicy};
-pub use device::{Dram, IssueResult};
+pub use device::{ColumnGate, Dram, IssueResult};
 pub use energy::EnergyModel;
 pub use stats::DramStats;
 pub use timing::TimingParams;

@@ -5,7 +5,9 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use dbp_dram::{Command, CommandKind, Cycle, Dram, Loc, RowPolicy};
+use dbp_obs::latency::LatencyReport;
 
+use crate::anatomy::{Anatomy, IssuedCmd, IssuedKind};
 use crate::profiler::{ProfilerState, RowOutcome};
 use crate::request::{MemRequest, TrafficKind};
 use crate::scheduler::{row_hit_then_age, Scheduler};
@@ -86,6 +88,7 @@ pub struct MemoryController {
     prof: ProfilerState,
     stats: CtrlStats,
     closed_page: bool,
+    anat: Anatomy,
 }
 
 impl MemoryController {
@@ -103,6 +106,7 @@ impl MemoryController {
             prof: ProfilerState::new(threads, total_banks),
             stats: CtrlStats::default(),
             closed_page,
+            anat: Anatomy::default(),
             dram,
             cfg,
             sched,
@@ -120,9 +124,32 @@ impl MemoryController {
     }
 
     /// Forward a telemetry recorder to the scheduler so it can emit
-    /// decision events (e.g. TCM clusterings).
+    /// decision events (e.g. TCM clusterings), and switch on per-request
+    /// latency anatomy when the recorder is live. Disabled anatomy costs
+    /// one branch per tick.
     pub fn attach_recorder(&mut self, rec: dbp_obs::Recorder) {
+        if rec.is_enabled() {
+            let c = self.dram.cfg();
+            self.anat.enable(
+                self.prof.num_threads(),
+                c.total_banks() as usize,
+                c.channels as usize,
+            );
+        }
         self.sched.attach_recorder(rec);
+    }
+
+    /// The accumulated latency anatomy (`None` unless a live recorder was
+    /// attached).
+    pub fn latency_report(&self) -> Option<&LatencyReport> {
+        self.anat.is_enabled().then(|| self.anat.report())
+    }
+
+    /// Drop latency anatomy gathered so far (measurement-window reset).
+    pub fn reset_latency(&mut self) {
+        if self.anat.is_enabled() {
+            self.anat.reset_window();
+        }
     }
 
     /// Profiling state (shared with partitioning policies).
@@ -203,6 +230,9 @@ impl MemoryController {
         } else {
             self.stats.enq_reads += 1;
             self.sched.on_enqueue(&req);
+            if req.kind == TrafficKind::Demand {
+                self.anat.on_enqueue_read(req.id);
+            }
             self.read_q[d.channel as usize].push(req);
         }
     }
@@ -223,12 +253,24 @@ impl MemoryController {
         }
         self.prof.sample_blp();
         self.sched.tick(now, &self.prof, &self.read_q);
-        for ch in 0..self.dram.cfg().channels {
-            self.issue_channel(ch, now);
+        let channels = self.dram.cfg().channels;
+        if self.anat.is_enabled() {
+            // Issue first, then attribute: a request whose column command
+            // went out this cycle has left the queue, so it accrues no
+            // wait for its final cycle and the components stay strictly
+            // below the total latency (the remainder is intrinsic).
+            let issued: Vec<Option<IssuedCmd>> =
+                (0..channels).map(|ch| self.issue_channel(ch, now)).collect();
+            let MemoryController { dram, read_q, anat, closed_page, .. } = self;
+            anat.attribute_cycle(now, dram, read_q, &issued, *closed_page);
+        } else {
+            for ch in 0..channels {
+                self.issue_channel(ch, now);
+            }
         }
     }
 
-    fn issue_channel(&mut self, ch: u32, now: Cycle) {
+    fn issue_channel(&mut self, ch: u32, now: Cycle) -> Option<IssuedCmd> {
         // Ranks with an overdue refresh: no new activates; push toward REF.
         let mut urgent: u64 = 0;
         for rank in 0..self.dram.cfg().ranks_per_channel {
@@ -236,8 +278,10 @@ impl MemoryController {
                 urgent |= 1 << rank;
             }
         }
-        if urgent != 0 && self.try_refresh(ch, now, urgent) {
-            return;
+        if urgent != 0 {
+            if let Some(ic) = self.try_refresh(ch, now, urgent) {
+                return Some(ic);
+            }
         }
         // Write-drain hysteresis.
         let chi = ch as usize;
@@ -253,11 +297,11 @@ impl MemoryController {
             self.stats.drain_cycles += 1;
         }
         let use_writes = self.draining[chi] || (self.read_q[chi].is_empty() && wlen > 0);
-        self.issue_from(ch, now, use_writes, urgent);
+        self.issue_from(ch, now, use_writes, urgent)
     }
 
-    /// Returns true if the cycle was consumed by refresh work.
-    fn try_refresh(&mut self, ch: u32, now: Cycle, urgent: u64) -> bool {
+    /// Consume the cycle with refresh work if needed; reports what issued.
+    fn try_refresh(&mut self, ch: u32, now: Cycle, urgent: u64) -> Option<IssuedCmd> {
         for rank in 0..self.dram.cfg().ranks_per_channel {
             if urgent & (1 << rank) == 0 {
                 continue;
@@ -267,7 +311,13 @@ impl MemoryController {
                 Some(at) if at == now => {
                     self.dram.issue(&rf, now);
                     self.stats.cmd_ref += 1;
-                    return true;
+                    return Some(IssuedCmd {
+                        rank,
+                        bank: None,
+                        thread: None,
+                        id: None,
+                        kind: IssuedKind::Refresh,
+                    });
                 }
                 Some(_) => {} // precharged but mid-timing: just wait
                 None => {
@@ -277,13 +327,19 @@ impl MemoryController {
                         if self.dram.can_issue(&pre, now) {
                             self.dram.issue(&pre, now);
                             self.stats.cmd_pre += 1;
-                            return true;
+                            return Some(IssuedCmd {
+                                rank,
+                                bank: Some(bank),
+                                thread: None,
+                                id: None,
+                                kind: IssuedKind::Precharge,
+                            });
                         }
                     }
                 }
             }
         }
-        false
+        None
     }
 
     /// Scan the queue for the most-preferred request whose next command is
@@ -330,15 +386,19 @@ impl MemoryController {
         best
     }
 
-    fn issue_from(&mut self, ch: u32, now: Cycle, is_write: bool, urgent: u64) {
-        let Some((i, cmd, _hit)) = self.pick(ch, now, is_write, urgent) else {
-            return;
-        };
+    fn issue_from(
+        &mut self,
+        ch: u32,
+        now: Cycle,
+        is_write: bool,
+        urgent: u64,
+    ) -> Option<IssuedCmd> {
+        let (i, cmd, _hit) = self.pick(ch, now, is_write, urgent)?;
         let chi = ch as usize;
         // First-action classification (demand and write-back traffic only).
-        let (thread, classified, tracked) = {
+        let (thread, req_id, classified, tracked) = {
             let q = if is_write { &self.write_q[chi] } else { &self.read_q[chi] };
-            (q[i].thread, q[i].classified, q[i].kind != TrafficKind::Migration)
+            (q[i].thread, q[i].id, q[i].classified, q[i].kind != TrafficKind::Migration)
         };
         if !classified && tracked {
             let outcome = match cmd.kind() {
@@ -359,6 +419,14 @@ impl MemoryController {
             CommandKind::Write => self.stats.cmd_wr += 1,
             CommandKind::RefreshRank => {}
         }
+        let loc = cmd.loc().expect("pick never returns REF");
+        let issued = IssuedCmd {
+            rank: loc.rank,
+            bank: Some(loc.bank),
+            thread: Some(thread),
+            id: Some(req_id),
+            kind: IssuedKind::of(cmd.kind()),
+        };
         if cmd.is_column() {
             let req = if is_write {
                 self.write_q[chi].swap_remove(i)
@@ -375,18 +443,31 @@ impl MemoryController {
                 t_burst,
                 req.kind != TrafficKind::Migration,
             );
-            if !req.is_write {
+            self.anat.note_column(chi, req.thread);
+            let data_end = res.data_ready_at.expect("column commands return data");
+            if req.is_write {
+                if req.kind == TrafficKind::Writeback {
+                    self.anat.on_write_issued(req.thread, data_end - req.arrival);
+                }
+            } else {
                 self.sched.on_serviced(&req, now);
                 if req.kind == TrafficKind::Demand {
+                    self.anat.on_read_issued(req.id, req.thread, gbank, data_end - req.arrival);
                     self.pending.push(Reverse(PendingRead {
-                        ready_at: res.data_ready_at.expect("column commands return data"),
+                        ready_at: data_end,
                         id: req.id,
                         thread: req.thread,
                         arrival: req.arrival,
                     }));
                 }
             }
+        } else if cmd.kind() == CommandKind::Activate {
+            let gbank = ((loc.channel * self.dram.cfg().ranks_per_channel + loc.rank)
+                * self.dram.cfg().banks_per_rank
+                + loc.bank) as usize;
+            self.anat.note_activate(gbank, thread);
         }
+        Some(issued)
     }
 }
 
@@ -594,6 +675,198 @@ mod tests {
 }
 
 #[cfg(test)]
+mod anatomy_tests {
+    use super::*;
+    use crate::scheduler::FrFcfs;
+    use dbp_dram::DramConfig;
+    use dbp_obs::{Recorder, RecorderConfig};
+
+    /// A controller with latency anatomy switched on.
+    fn mc_recorded(threads: usize) -> MemoryController {
+        let mut m = MemoryController::new(
+            Dram::new(DramConfig::fast_test()),
+            CtrlConfig::default(),
+            Box::new(FrFcfs),
+            threads,
+        );
+        m.attach_recorder(Recorder::new(RecorderConfig::default()));
+        m
+    }
+
+    fn run(m: &mut MemoryController, cycles: Cycle) -> Vec<Completion> {
+        let mut done = Vec::new();
+        for now in 0..cycles {
+            m.tick(now, &mut done);
+        }
+        done
+    }
+
+    /// Same-bank row stride for the fast_test page-coloring layout
+    /// (1 channel, 1 rank).
+    fn same_bank_stride() -> u64 {
+        let c = DramConfig::fast_test();
+        u64::from(c.row_bytes) * u64::from(c.banks_per_rank)
+    }
+
+    /// The tentpole invariant: for every profiled read the five latency
+    /// components sum *exactly* (u64 equality) to `ready_at - arrival`.
+    /// `LatencyReport::record_read` asserts this per request in every
+    /// build profile; here we additionally check the aggregate identity
+    /// on a contended multi-core workload.
+    #[test]
+    fn breakdown_components_sum_exactly_to_total_latency() {
+        let mut m = mc_recorded(4);
+        let stride = same_bank_stride();
+        let mut id = 0;
+        for burst in 0..6u64 {
+            for t in 0..4usize {
+                // All four cores fight over bank 0 with distinct rows,
+                // plus a second stream on different banks for bus load.
+                m.enqueue(MemRequest::demand_read(id, t, (burst * 4 + t as u64) * stride, 0));
+                id += 1;
+                m.enqueue(MemRequest::demand_read(id, t, 4096 * (t as u64 + 1), 0));
+                id += 1;
+            }
+        }
+        let done = run(&mut m, 5_000);
+        assert_eq!(done.len(), 48, "all reads complete");
+        let rep = m.latency_report().expect("recorder attached");
+        assert_eq!(rep.total_reads(), 48);
+        for core in &rep.cores {
+            let component_sum: u64 = core.components.iter().sum();
+            assert_eq!(
+                component_sum,
+                core.read.sum(),
+                "per-core components must partition the summed read latency"
+            );
+        }
+        // Heavy same-bank contention must show up as non-intrinsic time.
+        let waited: u64 = rep
+            .cores
+            .iter()
+            .flat_map(|c| c.components[..dbp_obs::latency::INTRINSIC].iter())
+            .sum();
+        assert!(waited > 0, "contended workload must record wait cycles");
+    }
+
+    /// Attribution is observation-only: an enabled recorder changes no
+    /// scheduling decision, completion, or counter.
+    #[test]
+    fn enabled_recorder_does_not_change_behaviour() {
+        let build = |rec: Option<Recorder>| {
+            let mut m = MemoryController::new(
+                Dram::new(DramConfig::fast_test()),
+                CtrlConfig::default(),
+                Box::new(FrFcfs),
+                2,
+            );
+            if let Some(r) = rec {
+                m.attach_recorder(r);
+            }
+            let stride = same_bank_stride();
+            for i in 0..10u64 {
+                m.enqueue(MemRequest::demand_read(i, (i % 2) as usize, i * stride / 2, 0));
+                m.enqueue(MemRequest::writeback(100 + i, (i % 2) as usize, i * 4096, 0));
+            }
+            m
+        };
+        let mut plain = build(None);
+        let mut recorded = build(Some(Recorder::new(RecorderConfig::default())));
+        let done_plain = run(&mut plain, 4_000);
+        let done_rec = run(&mut recorded, 4_000);
+        assert_eq!(done_plain, done_rec);
+        assert_eq!(plain.stats(), recorded.stats());
+        assert!(plain.latency_report().is_none());
+        assert!(recorded.latency_report().is_some());
+    }
+
+    /// Cross-core same-bank conflicts charge the bank interference
+    /// matrix; core-private banks keep it clean.
+    #[test]
+    fn bank_interference_requires_shared_banks() {
+        // Shared: both cores hammer bank 0 with alternating rows.
+        let mut shared = mc_recorded(2);
+        let stride = same_bank_stride();
+        for i in 0..8u64 {
+            shared.enqueue(MemRequest::demand_read(i, (i % 2) as usize, i * stride, 0));
+        }
+        run(&mut shared, 4_000);
+        let rep = shared.latency_report().unwrap();
+        assert!(
+            rep.bank_interference.off_diagonal_sum() > 0,
+            "alternating-row conflicts must charge cross-core bank interference"
+        );
+
+        // Private: each core owns its own bank (consecutive pages map to
+        // different banks under page coloring).
+        let mut private = mc_recorded(2);
+        let page = u64::from(DramConfig::fast_test().page_bytes);
+        for i in 0..8u64 {
+            let t = (i % 2) as usize;
+            private.enqueue(MemRequest::demand_read(i, t, t as u64 * page + (i / 2) * 64, 0));
+        }
+        run(&mut private, 4_000);
+        let rep = private.latency_report().unwrap();
+        assert_eq!(
+            rep.bank_interference.off_diagonal_sum(),
+            0,
+            "core-private banks must not show cross-core bank interference"
+        );
+    }
+
+    /// Satellite: writeback drains are profiled into the write histogram.
+    #[test]
+    fn writeback_latency_is_recorded() {
+        let mut m = mc_recorded(1);
+        for i in 0..20u64 {
+            m.enqueue(MemRequest::writeback(i, 0, i * 4096, 0));
+        }
+        run(&mut m, 2_000);
+        let rep = m.latency_report().unwrap();
+        assert_eq!(rep.cores[0].write.count(), 20);
+        assert!(rep.cores[0].write.min() > 0);
+        assert_eq!(rep.cores[0].read.count(), 0);
+    }
+
+    /// Migration traffic is invisible to the anatomy: it belongs to the
+    /// repartitioning machinery, not to any core's demand stream.
+    #[test]
+    fn migration_traffic_is_not_profiled() {
+        let mut m = mc_recorded(1);
+        m.enqueue(MemRequest::migration(0, 0, 0x40, false, 0));
+        m.enqueue(MemRequest::migration(1, 0, 0x80, true, 0));
+        run(&mut m, 500);
+        let rep = m.latency_report().unwrap();
+        assert_eq!(rep.total_reads(), 0);
+        assert_eq!(rep.cores[0].write.count(), 0);
+    }
+
+    /// A measurement-window reset drops the report but keeps in-flight
+    /// accumulators, so spanning reads still satisfy the sum invariant
+    /// (record_read would panic otherwise).
+    #[test]
+    fn window_reset_keeps_inflight_reads_sum_exact() {
+        let mut m = mc_recorded(2);
+        let stride = same_bank_stride();
+        for i in 0..8u64 {
+            m.enqueue(MemRequest::demand_read(i, (i % 2) as usize, i * stride, 0));
+        }
+        let mut done = Vec::new();
+        m.tick(0, &mut done); // accrue some wait cycles
+        m.tick(1, &mut done);
+        m.reset_latency();
+        for now in 2..4_000 {
+            m.tick(now, &mut done);
+        }
+        assert_eq!(done.len(), 8);
+        let rep = m.latency_report().unwrap();
+        // All eight reads issued after the reset, so all land in the
+        // post-reset report with exact breakdowns.
+        assert_eq!(rep.total_reads(), 8);
+    }
+}
+
+#[cfg(test)]
 mod prop_tests {
     use super::*;
     use crate::scheduler::{Fcfs, FrFcfs, ParBs, Tcm};
@@ -601,31 +874,38 @@ mod prop_tests {
     use dbp_util::prop::{any_bool, check, range, vec_of, CaseResult, Config};
     use dbp_util::{prop_assert, prop_assert_eq};
 
-    fn build(sched_idx: usize, threads: usize) -> MemoryController {
+    fn build(sched_idx: usize, threads: usize, recorded: bool) -> MemoryController {
         let sched: Box<dyn Scheduler> = match sched_idx {
             0 => Box::new(Fcfs),
             1 => Box::new(FrFcfs),
             2 => Box::new(ParBs::new(Default::default(), threads)),
             _ => Box::new(Tcm::new(Default::default(), threads)),
         };
-        MemoryController::new(
+        let mut mc = MemoryController::new(
             Dram::new(DramConfig::fast_test()),
             CtrlConfig { read_q_cap: 16, write_q_cap: 16, write_hi: 12, write_lo: 4 },
             sched,
             threads,
-        )
+        );
+        if recorded {
+            mc.attach_recorder(dbp_obs::Recorder::new(Default::default()));
+        }
+        mc
     }
 
     /// Conservation: under any scheduler and any admissible request
     /// stream, every demand read eventually completes exactly once, and
     /// every accepted request is serviced.
-    fn conservation_holds(sched_idx: usize, reqs: Vec<(usize, u64, bool)>) -> CaseResult {
-        let mut mc = build(sched_idx, 4);
+    /// Feed-then-drain driver; returns (completions, enqueued reads).
+    fn drive(
+        mc: &mut MemoryController,
+        reqs: &[(usize, u64, bool)],
+    ) -> Result<(Vec<Completion>, u64), String> {
         let mut done = Vec::new();
         let mut now: Cycle = 0;
         let mut enq_reads = 0u64;
         let mut id = 0u64;
-        let mut queue: std::collections::VecDeque<_> = reqs.into_iter().collect();
+        let mut queue: std::collections::VecDeque<_> = reqs.iter().copied().collect();
         // Feed requests as capacity allows, then drain.
         while !queue.is_empty() || mc.in_flight() > 0 {
             if let Some(&(thread, page, is_write)) = queue.front() {
@@ -647,6 +927,12 @@ mod prop_tests {
             now += 1;
             prop_assert!(now < 500_000, "livelock: {} in flight", mc.in_flight());
         }
+        Ok((done, enq_reads))
+    }
+
+    fn conservation_holds(sched_idx: usize, reqs: Vec<(usize, u64, bool)>) -> CaseResult {
+        let mut mc = build(sched_idx, 4, false);
+        let (done, enq_reads) = drive(&mut mc, &reqs)?;
         prop_assert_eq!(done.len() as u64, enq_reads, "every read completes");
         let mut ids: Vec<u64> = done.iter().map(|c| c.id).collect();
         ids.sort_unstable();
@@ -659,6 +945,24 @@ mod prop_tests {
             classified += p.row_hits + p.row_misses + p.row_conflicts;
         }
         prop_assert_eq!(classified, mc.stats().cmd_rd + mc.stats().cmd_wr);
+
+        // Latency anatomy is observation-only: re-running with a live
+        // recorder changes no completion or counter, profiles every
+        // demand read, and every breakdown sums exactly to its total
+        // (record_read asserts per request in all build profiles).
+        let mut rec = build(sched_idx, 4, true);
+        let (done_rec, _) = drive(&mut rec, &reqs)?;
+        prop_assert_eq!(&done_rec, &done, "recorder must not perturb completions");
+        prop_assert_eq!(rec.stats(), mc.stats(), "recorder must not perturb counters");
+        let rep = rec.latency_report().expect("recorder attached");
+        prop_assert_eq!(rep.total_reads(), enq_reads, "every demand read profiled");
+        for core in &rep.cores {
+            prop_assert_eq!(
+                core.components.iter().sum::<u64>(),
+                core.read.sum(),
+                "components partition the summed latency"
+            );
+        }
         Ok(())
     }
 

@@ -41,11 +41,13 @@
 //! assert_eq!(done.len(), 1);
 //! ```
 
+pub mod anatomy;
 pub mod controller;
 pub mod profiler;
 pub mod request;
 pub mod scheduler;
 
+pub use anatomy::Anatomy;
 pub use controller::{Completion, CtrlConfig, CtrlStats, MemoryController};
 pub use profiler::{ProfilerState, ThreadProf};
 pub use request::{MemRequest, TrafficKind};

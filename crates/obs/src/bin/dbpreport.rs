@@ -1,0 +1,213 @@
+//! Render the simulator's JSON exports as human-readable tables.
+//!
+//! `dbpreport` recognises every document the workspace produces —
+//! latency-anatomy exports (`dbpsim --latency-out`), metrics documents
+//! (`--metrics-out`), suite-timing documents (`bench_all --json`), and
+//! Chrome traces (`--trace-out`) — by their top-level keys, and renders
+//! aligned ANSI tables (or markdown with `--md`): latency percentiles,
+//! component breakdowns, interference heatmaps, and epoch time-series
+//! with sparklines.
+//!
+//! Usage: `dbpreport [--md] <file>...` (no files: read stdin).
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use dbp_obs::export;
+use dbp_obs::json::{self, Json};
+use dbp_obs::latency::{
+    bank_latency_table, breakdown_table, interference_table, read_latency_table,
+    write_latency_table, LatencyReport,
+};
+use dbp_obs::table::{sparkline, Table};
+
+/// Emit one table in the selected format, with a caption.
+fn push_table(out: &mut String, caption: &str, t: &Table, md: bool) {
+    if md {
+        out.push_str(&format!("\n**{caption}**\n\n"));
+        out.push_str(&t.to_markdown());
+    } else {
+        out.push_str(&format!("\n{caption}:\n"));
+        out.push_str(&t.render());
+    }
+}
+
+/// One line of run context pulled from a document's `summary`, if any.
+fn summary_line(doc: &Json) -> String {
+    let Some(Json::Obj(pairs)) = doc.get("summary") else { return String::new() };
+    let mut parts = Vec::new();
+    for (k, v) in pairs {
+        match v {
+            Json::Str(s) => parts.push(format!("{k}={s}")),
+            Json::Num(n) => parts.push(format!("{k}={n}")),
+            _ => {}
+        }
+    }
+    if parts.is_empty() { String::new() } else { format!("summary: {}\n", parts.join("  ")) }
+}
+
+fn render_latency(doc: &Json, md: bool) -> Result<String, String> {
+    let report = LatencyReport::from_json(doc)?;
+    let mut out = summary_line(doc);
+    out.push_str(&format!("demand reads profiled: {}\n", report.total_reads()));
+    push_table(&mut out, "read latency (DRAM cycles)", &read_latency_table(&report), md);
+    push_table(&mut out, "read latency breakdown (% of total)", &breakdown_table(&report), md);
+    push_table(&mut out, "writeback latency (DRAM cycles)", &write_latency_table(&report), md);
+    push_table(
+        &mut out,
+        "bank interference (cycles core i blocked on a bank held by core j)",
+        &interference_table(&report.bank_interference),
+        md,
+    );
+    push_table(
+        &mut out,
+        "bus interference (cycles core i blocked on the bus held by core j)",
+        &interference_table(&report.bus_interference),
+        md,
+    );
+    push_table(&mut out, "per-bank read latency", &bank_latency_table(&report), md);
+    Ok(out)
+}
+
+fn render_metrics(doc: &Json, md: bool) -> Result<String, String> {
+    let epochs = doc.get("epochs").and_then(Json::as_arr).ok_or("missing epochs array")?;
+    let mut out = summary_line(doc);
+    let num = |e: &Json, k: &str| e.get(k).and_then(Json::as_num).unwrap_or(0.0);
+    let mut t = Table::new(["epoch", "cycle", "queue", "row hit", "bus util"]);
+    for e in epochs {
+        t.row([
+            format!("{}", num(e, "epoch")),
+            format!("{}", num(e, "cycle")),
+            format!("{}", num(e, "queue_depth")),
+            format!("{:.3}", num(e, "row_hit_rate")),
+            format!("{:.3}", num(e, "bus_utilisation")),
+        ]);
+    }
+    push_table(&mut out, "epoch time-series", &t, md);
+    for (key, label) in
+        [("row_hit_rate", "row hit"), ("bus_utilisation", "bus util"), ("queue_depth", "queue")]
+    {
+        let series: Vec<f64> = epochs.iter().map(|e| num(e, key)).collect();
+        out.push_str(&format!("{label:>8}  {}\n", sparkline(&series)));
+    }
+    let events = doc.get("events").and_then(Json::as_arr).map_or(0, <[Json]>::len);
+    out.push_str(&format!("events captured: {events}\n"));
+    Ok(out)
+}
+
+fn render_suite(doc: &Json, md: bool) -> Result<String, String> {
+    let exps = doc.get("experiments").and_then(Json::as_arr).ok_or("missing experiments array")?;
+    let mut out = String::new();
+    let workers = doc.get("workers").and_then(Json::as_num).unwrap_or(0.0);
+    let total = doc.get("total_wall_ns").and_then(Json::as_num).unwrap_or(0.0);
+    out.push_str(&format!("workers: {workers}  total wall: {:.2}s\n", total / 1e9));
+    let mut t = Table::new(["experiment", "wall (s)", "jobs", "cache hits"]);
+    for e in exps {
+        t.row([
+            e.get("name").and_then(Json::as_str).unwrap_or("?").to_string(),
+            format!("{:.2}", e.get("wall_ns").and_then(Json::as_num).unwrap_or(0.0) / 1e9),
+            format!("{}", e.get("jobs").and_then(Json::as_num).unwrap_or(0.0)),
+            format!("{}", e.get("solo_cache_hits").and_then(Json::as_num).unwrap_or(0.0)),
+        ]);
+    }
+    push_table(&mut out, "experiments", &t, md);
+    if let Some(Json::Obj(ann)) = doc.get("annotations") {
+        if !ann.is_empty() {
+            out.push_str("\nannotations:\n");
+            for (k, v) in ann {
+                out.push_str(&format!("  {k}: {}\n", v.to_json()));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn render_trace(doc: &Json, _md: bool) -> Result<String, String> {
+    let events = doc.get("traceEvents").and_then(Json::as_arr).ok_or("missing traceEvents")?;
+    let (mut instants, mut counters, mut meta) = (0u64, 0u64, 0u64);
+    for e in events {
+        match e.get("ph").and_then(Json::as_str) {
+            Some("i") => instants += 1,
+            Some("C") => counters += 1,
+            Some("M") => meta += 1,
+            _ => {}
+        }
+    }
+    Ok(format!(
+        "chrome trace: {} rows ({instants} instants, {counters} counter samples, {meta} metadata)\n",
+        events.len()
+    ))
+}
+
+/// Route a parsed document to its renderer by its top-level keys.
+fn render_doc(doc: &Json, md: bool) -> Result<String, String> {
+    export::check_schema_version(doc)?;
+    if doc.get("interference").is_some() {
+        render_latency(doc, md)
+    } else if doc.get("epochs").is_some() {
+        render_metrics(doc, md)
+    } else if doc.get("experiments").is_some() {
+        render_suite(doc, md)
+    } else if doc.get("traceEvents").is_some() {
+        render_trace(doc, md)
+    } else {
+        Err("unrecognised document (expected a latency, metrics, suite-timing, or trace export)"
+            .to_string())
+    }
+}
+
+fn process(label: &str, text: &str, md: bool) -> bool {
+    let doc = match json::parse(text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("dbpreport: {label}: {e}");
+            return false;
+        }
+    };
+    match render_doc(&doc, md) {
+        Ok(body) => {
+            println!("== {label} ==");
+            println!("{body}");
+            true
+        }
+        Err(e) => {
+            eprintln!("dbpreport: {label}: {e}");
+            false
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut md = false;
+    let mut files: Vec<String> = Vec::new();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--md" => md = true,
+            "-h" | "--help" => {
+                println!("usage: dbpreport [--md] [<file>...]  (no files: read stdin)");
+                println!("renders dbpsim/bench_all JSON exports as aligned tables");
+                return ExitCode::SUCCESS;
+            }
+            _ => files.push(a),
+        }
+    }
+    let mut ok = true;
+    if files.is_empty() {
+        let mut text = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+            eprintln!("dbpreport: <stdin>: {e}");
+            return ExitCode::FAILURE;
+        }
+        ok = process("<stdin>", &text, md);
+    }
+    for file in &files {
+        match std::fs::read_to_string(file) {
+            Ok(text) => ok &= process(file, &text, md),
+            Err(e) => {
+                eprintln!("dbpreport: {file}: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE }
+}

@@ -2,10 +2,36 @@
 //! check exported trace/metrics files without any external tooling.
 //!
 //! Usage: `jsonlint <file>...` — exits 0 if every file parses, 1
-//! otherwise. `--require-key K` additionally demands a top-level object
-//! key `K` in every file (e.g. `traceEvents` for Chrome traces).
+//! otherwise. With no file arguments the document is read from stdin,
+//! so CI can pipe exports without temp files. `--require-key K`
+//! additionally demands a top-level object key `K` in every document
+//! (e.g. `traceEvents` for Chrome traces).
 
+use std::io::Read as _;
 use std::process::ExitCode;
+
+/// Validate one document; returns whether it passed.
+fn lint(label: &str, text: &str, required_keys: &[String]) -> bool {
+    match dbp_obs::json::parse(text) {
+        Ok(doc) => {
+            let mut missing = false;
+            for k in required_keys {
+                if doc.get(k).is_none() {
+                    eprintln!("jsonlint: {label}: missing required key {k:?}");
+                    missing = true;
+                }
+            }
+            if !missing {
+                println!("jsonlint: {label}: ok ({} bytes)", text.len());
+            }
+            !missing
+        }
+        Err(e) => {
+            eprintln!("jsonlint: {label}: {e}");
+            false
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let mut required_keys: Vec<String> = Vec::new();
@@ -21,15 +47,23 @@ fn main() -> ExitCode {
                 }
             },
             "-h" | "--help" => {
-                println!("usage: jsonlint [--require-key K]... <file>...");
+                println!("usage: jsonlint [--require-key K]... [<file>...]  (no files: read stdin)");
                 return ExitCode::SUCCESS;
             }
             _ => files.push(a),
         }
     }
     if files.is_empty() {
-        eprintln!("usage: jsonlint [--require-key K]... <file>...");
-        return ExitCode::FAILURE;
+        let mut text = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+            eprintln!("jsonlint: <stdin>: {e}");
+            return ExitCode::FAILURE;
+        }
+        return if lint("<stdin>", &text, &required_keys) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
     let mut ok = true;
     for file in &files {
@@ -41,26 +75,7 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        match dbp_obs::json::parse(&text) {
-            Ok(doc) => {
-                let mut missing = false;
-                for k in &required_keys {
-                    if doc.get(k).is_none() {
-                        eprintln!("jsonlint: {file}: missing required key {k:?}");
-                        missing = true;
-                    }
-                }
-                if missing {
-                    ok = false;
-                } else {
-                    println!("jsonlint: {file}: ok ({} bytes)", text.len());
-                }
-            }
-            Err(e) => {
-                eprintln!("jsonlint: {file}: {e}");
-                ok = false;
-            }
-        }
+        ok &= lint(file, &text, &required_keys);
     }
     if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE }
 }

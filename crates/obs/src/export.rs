@@ -13,11 +13,45 @@
 
 use crate::event::TraceEvent;
 use crate::json::Json;
+use crate::latency::LatencyReport;
 use crate::recorder::{EpochSample, Telemetry};
 
 /// Format version stamped into both documents so downstream tooling can
 /// detect schema changes across PRs.
 pub const FORMAT_VERSION: u64 = 1;
+
+/// Semantic schema version (`major.minor`) stamped into the versioned
+/// documents. Bump the minor for additive changes; bump the major when a
+/// consumer written against the old layout would misread the new one.
+pub const SCHEMA_VERSION: &str = "1.0";
+
+/// The highest major schema version this crate's readers understand.
+pub const SCHEMA_MAJOR: u64 = 1;
+
+/// Check a parsed document's `schema_version` against what this build
+/// can read. Documents predating the field (no `schema_version` key)
+/// pass: they are from schema 1.0 producers.
+///
+/// # Errors
+///
+/// Returns a message when the field is malformed or its major version is
+/// newer than [`SCHEMA_MAJOR`].
+pub fn check_schema_version(doc: &Json) -> Result<(), String> {
+    let Some(v) = doc.get("schema_version") else { return Ok(()) };
+    let s = v.as_str().ok_or("schema_version must be a string")?;
+    let major: u64 = s
+        .split('.')
+        .next()
+        .unwrap_or("")
+        .parse()
+        .map_err(|_| format!("malformed schema_version {s:?}"))?;
+    if major > SCHEMA_MAJOR {
+        return Err(format!(
+            "document schema_version {s} is newer than the supported major {SCHEMA_MAJOR}"
+        ));
+    }
+    Ok(())
+}
 
 fn event_json(ev: &TraceEvent) -> Json {
     let mut pairs = vec![
@@ -65,6 +99,23 @@ pub fn metrics_document(t: &Telemetry, summary: Json) -> Json {
     ])
 }
 
+/// Build the latency-anatomy document for `dbpsim --latency-out`:
+/// version stamps, caller-provided run context, then the
+/// [`LatencyReport`] body (per-core/per-bank histograms and the
+/// interference matrices).
+pub fn latency_document(report: &LatencyReport, summary: Json) -> Json {
+    let mut pairs = vec![
+        ("format_version".to_string(), Json::uint(FORMAT_VERSION)),
+        ("schema_version".to_string(), Json::str(SCHEMA_VERSION)),
+        ("summary".to_string(), summary),
+    ];
+    match report.to_json() {
+        Json::Obj(body) => pairs.extend(body),
+        _ => unreachable!("LatencyReport::to_json returns an object"),
+    }
+    Json::Obj(pairs)
+}
+
 /// Timing of one experiment inside a `bench_all` suite run, destined for
 /// the suite-timing JSON published next to `BENCH_results.json`.
 #[derive(Debug, Clone)]
@@ -82,15 +133,19 @@ pub struct SuiteExperimentTiming {
 /// Build the experiment-suite timing document: per-experiment wall clock
 /// and job counts, plus the pool configuration that produced them. CI
 /// publishes this alongside the micro-bench `BENCH_results.json` to
-/// track the suite's wall-clock trajectory across PRs.
+/// track the suite's wall-clock trajectory across PRs. `annotations` are
+/// extra key/value pairs experiments attached during the run (e.g. the
+/// interference diagnostic's percentile summaries).
 pub fn suite_timing_document(
     workers: usize,
     quick: bool,
     total_wall_ns: u128,
     rows: &[SuiteExperimentTiming],
+    annotations: &[(String, Json)],
 ) -> Json {
     Json::obj([
         ("format_version", Json::uint(FORMAT_VERSION)),
+        ("schema_version", Json::str(SCHEMA_VERSION)),
         ("workers", Json::uint(workers as u64)),
         ("quick", Json::Bool(quick)),
         ("total_wall_ns", Json::uint(total_wall_ns as u64)),
@@ -105,6 +160,7 @@ pub fn suite_timing_document(
                 ])
             })),
         ),
+        ("annotations", Json::Obj(annotations.to_vec())),
     ])
 }
 
@@ -310,9 +366,11 @@ mod tests {
                 solo_cache_hits: 0,
             },
         ];
-        let doc = suite_timing_document(4, true, 9_999_999, &rows);
+        let ann = vec![("diag".to_string(), Json::obj([("reads", Json::uint(7))]))];
+        let doc = suite_timing_document(4, true, 9_999_999, &rows, &ann);
         let back = json::parse(&doc.to_json()).expect("suite timing doc must be valid JSON");
         assert_eq!(back.get("format_version").and_then(Json::as_num), Some(1.0));
+        assert_eq!(back.get("schema_version").and_then(Json::as_str), Some(SCHEMA_VERSION));
         assert_eq!(back.get("workers").and_then(Json::as_num), Some(4.0));
         assert_eq!(back.get("total_wall_ns").and_then(Json::as_num), Some(9_999_999.0));
         let exps = back.get("experiments").and_then(Json::as_arr).unwrap();
@@ -320,6 +378,70 @@ mod tests {
         assert_eq!(exps[0].get("name").and_then(Json::as_str), Some("fig4_ws_dbp"));
         assert_eq!(exps[0].get("jobs").and_then(Json::as_num), Some(105.0));
         assert_eq!(exps[0].get("solo_cache_hits").and_then(Json::as_num), Some(120.0));
+        assert_eq!(
+            back.get("annotations").and_then(|a| a.get("diag")).and_then(|d| d.get("reads")).and_then(Json::as_num),
+            Some(7.0)
+        );
+        assert!(check_schema_version(&back).is_ok());
+    }
+
+    #[test]
+    fn latency_document_round_trips_with_schema() {
+        let mut report = LatencyReport::new(2, 4);
+        report.record_read(0, 2, 120, [10, 20, 30, 40, 20]);
+        report.record_write(1, 55);
+        report.bank_interference.add(0, 1, 20);
+        let doc = latency_document(&report, Json::obj([("policy", Json::str("none"))]));
+        let back = json::parse(&doc.to_json()).expect("latency doc must be valid JSON");
+        assert!(check_schema_version(&back).is_ok());
+        assert_eq!(back.get("schema_version").and_then(Json::as_str), Some(SCHEMA_VERSION));
+        assert_eq!(
+            back.get("summary").and_then(|s| s.get("policy")).and_then(Json::as_str),
+            Some("none")
+        );
+        let parsed = LatencyReport::from_json(&back).expect("body must reconstruct");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn future_major_schema_versions_are_rejected() {
+        let ok = json::parse(r#"{"schema_version":"1.0"}"#).unwrap();
+        assert!(check_schema_version(&ok).is_ok());
+        let additive = json::parse(r#"{"schema_version":"1.9"}"#).unwrap();
+        assert!(check_schema_version(&additive).is_ok());
+        let legacy = json::parse(r#"{"format_version":1}"#).unwrap();
+        assert!(check_schema_version(&legacy).is_ok(), "pre-schema docs pass");
+        let future = json::parse(r#"{"schema_version":"2.0"}"#).unwrap();
+        let err = check_schema_version(&future).unwrap_err();
+        assert!(err.contains("newer"), "{err}");
+        let junk = json::parse(r#"{"schema_version":"banana"}"#).unwrap();
+        assert!(check_schema_version(&junk).unwrap_err().contains("malformed"));
+        let not_str = json::parse(r#"{"schema_version":2}"#).unwrap();
+        assert!(check_schema_version(&not_str).is_err());
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_parser_preserving_event_count() {
+        let t = sample_telemetry();
+        let doc = chrome_trace(&t);
+        let back = json::parse(&doc.to_json()).expect("must be RFC 8259");
+        let events = back.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // Exact census: one process_name row, one thread_name row per tid
+        // (sim + each hardware thread), one instant per captured event,
+        // and six counter tracks per epoch sample.
+        let max_thread = t
+            .events
+            .iter()
+            .filter_map(|e| e.kind.thread())
+            .chain(t.series.iter().map(|s| s.threads.len().saturating_sub(1)))
+            .max()
+            .expect("sample telemetry has thread-scoped data");
+        let expected = 1 + (max_thread + 2) + t.events.len() + 6 * t.series.len();
+        assert_eq!(events.len(), expected);
+        // Writing the parsed document again is a fixpoint: the writer and
+        // parser agree on every value in the export.
+        assert_eq!(json::parse(&back.to_json()).unwrap(), back);
+        assert_eq!(back, doc);
     }
 
     #[test]

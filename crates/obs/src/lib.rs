@@ -18,9 +18,15 @@
 
 pub mod event;
 pub mod export;
+pub mod hist;
 pub mod json;
+pub mod latency;
 pub mod recorder;
+pub mod table;
 
 pub use event::{EventKind, MigrationCause, TraceEvent};
+pub use hist::Histogram;
 pub use json::Json;
+pub use latency::{CoreLatency, LatencyReport, Matrix};
 pub use recorder::{EpochSample, Recorder, RecorderConfig, Telemetry, ThreadSample};
+pub use table::Table;

@@ -13,6 +13,7 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use crate::event::{EventKind, TraceEvent};
+use crate::latency::LatencyReport;
 
 /// Default ring-buffer capacity: plenty for epoch-level events over long
 /// runs while bounding memory when per-page events fire in bursts.
@@ -70,6 +71,9 @@ pub struct Telemetry {
     /// Events discarded because the ring buffer was full.
     pub dropped_events: u64,
     pub series: Vec<EpochSample>,
+    /// The memory controller's end-of-run latency anatomy, if one was
+    /// published via [`Recorder::set_latency`].
+    pub latency: Option<LatencyReport>,
 }
 
 #[derive(Debug)]
@@ -78,6 +82,7 @@ struct Inner {
     events: RefCell<VecDeque<TraceEvent>>,
     dropped: Cell<u64>,
     series: RefCell<Vec<EpochSample>>,
+    latency: RefCell<Option<LatencyReport>>,
     capacity: usize,
     stderr_echo: bool,
 }
@@ -102,6 +107,7 @@ impl Recorder {
                 events: RefCell::new(VecDeque::new()),
                 dropped: Cell::new(0),
                 series: RefCell::new(Vec::new()),
+                latency: RefCell::new(None),
                 capacity: cfg.event_capacity.max(1),
                 stderr_echo: cfg.stderr_echo,
             })),
@@ -150,6 +156,13 @@ impl Recorder {
         }
     }
 
+    /// Publish the run's latency anatomy (replaces any earlier report).
+    pub fn set_latency(&self, report: LatencyReport) {
+        if let Some(inner) = &self.inner {
+            *inner.latency.borrow_mut() = Some(report);
+        }
+    }
+
     /// Copy out everything captured so far. Empty for a disabled recorder.
     pub fn snapshot(&self) -> Telemetry {
         match &self.inner {
@@ -158,6 +171,7 @@ impl Recorder {
                 events: inner.events.borrow().iter().cloned().collect(),
                 dropped_events: inner.dropped.get(),
                 series: inner.series.borrow().clone(),
+                latency: inner.latency.borrow().clone(),
             },
         }
     }
@@ -181,11 +195,23 @@ mod tests {
             bus_utilisation: 0.0,
             threads: vec![],
         });
+        r.set_latency(LatencyReport::new(2, 4));
         let t = r.snapshot();
         assert!(t.events.is_empty());
         assert!(t.series.is_empty());
         assert_eq!(t.dropped_events, 0);
+        assert_eq!(t.latency, None);
         assert_eq!(r.cycle(), 0);
+    }
+
+    #[test]
+    fn latency_report_is_shared_between_clones() {
+        let r = Recorder::new(RecorderConfig::default());
+        assert_eq!(r.snapshot().latency, None);
+        let mut report = LatencyReport::new(1, 2);
+        report.record_read(0, 1, 50, [0, 0, 10, 0, 40]);
+        r.clone().set_latency(report.clone());
+        assert_eq!(r.snapshot().latency, Some(report));
     }
 
     #[test]

@@ -204,6 +204,20 @@ pub fn run_shared_recorded(cfg: &SimConfig, mix: &Mix, rec: dbp_obs::Recorder) -
     sys.run()
 }
 
+/// [`run_shared`], with per-request latency anatomy switched on: returns
+/// the run result plus the measured [`dbp_obs::LatencyReport`]
+/// (histograms, breakdowns, and the interference matrices).
+///
+/// Each call owns a private recorder, so this is safe to fan out across
+/// worker threads (the recorder's shared state is not `Send`; it never
+/// leaves this call).
+pub fn run_shared_latency(cfg: &SimConfig, mix: &Mix) -> (RunResult, dbp_obs::LatencyReport) {
+    let rec = dbp_obs::Recorder::new(Default::default());
+    let result = run_shared_recorded(cfg, mix, rec.clone());
+    let latency = rec.snapshot().latency.unwrap_or_default();
+    (result, latency)
+}
+
 /// Alone runs + shared run + metrics in one call.
 pub fn run_mix(cfg: &SimConfig, mix: &Mix) -> MixRun {
     let alone = alone_ipcs(cfg, mix);
@@ -311,6 +325,27 @@ mod tests {
         let mut c = cfg;
         c.target_instructions += 1;
         assert_ne!(alone_fingerprint(&c), base);
+    }
+
+    #[test]
+    fn latency_anatomy_is_deterministic_and_observation_only() {
+        let cfg = tiny_cfg();
+        let mix = &mixes_4core()[0];
+        let (r1, l1) = run_shared_latency(&cfg, mix);
+        let (r2, l2) = run_shared_latency(&cfg, mix);
+        assert_eq!(l1, l2, "seeded runs must produce identical anatomy");
+        assert_eq!(l1.cores.len(), mix.cores());
+        assert_eq!(l1.bank_interference.n(), mix.cores());
+        assert!(l1.total_reads() > 0, "measured window must profile reads");
+        // Observation only: the recorded run's headline numbers match an
+        // unrecorded run of the same seed.
+        let plain = run_shared(&cfg, mix);
+        assert_eq!(plain.total_cycles, r1.total_cycles);
+        assert_eq!(r1.total_cycles, r2.total_cycles);
+        for (a, b) in plain.threads.iter().zip(&r1.threads) {
+            assert_eq!(a.ipc, b.ipc);
+            assert_eq!(a.reads, b.reads);
+        }
     }
 
     #[test]

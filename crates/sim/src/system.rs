@@ -224,6 +224,10 @@ impl System {
         self.dram_base = Some(self.ctrl.dram().stats().clone());
         self.os_base = *self.osmem.stats();
         self.sys_base = self.stats;
+        // Latency anatomy measures the steady state only; in-flight
+        // requests keep their wait accumulators so breakdowns of reads
+        // spanning the warmup boundary stay sum-exact.
+        self.ctrl.reset_latency();
     }
 
     /// Advance exactly one CPU cycle (exposed for tests and tooling).
@@ -471,6 +475,9 @@ impl System {
 
     fn collect(&mut self) -> RunResult {
         self.feed_instructions();
+        if let Some(rep) = self.ctrl.latency_report() {
+            self.rec.set_latency(rep.clone());
+        }
         let target = self.cfg.target_instructions;
         let threads: Vec<ThreadResult> = (0..self.cores.len())
             .map(|i| {

@@ -48,6 +48,10 @@ TELEMETRY (run only):
     --trace-out <file>       Write a Chrome trace_event JSON of the shared
                              run (open in chrome://tracing or ui.perfetto.dev)
     --metrics-out <file>     Write per-epoch metrics + event log as JSON
+    --latency-out <file>     Write per-request latency anatomy as JSON:
+                             per-core/per-bank histograms, component
+                             breakdowns, and the core-by-core interference
+                             matrices (render with `dbpreport <file>`)
 ";
 
 fn parse_policy(s: &str) -> Result<PolicyKind, String> {
@@ -89,6 +93,7 @@ struct Options {
     csv: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    latency_out: Option<String>,
 }
 
 impl Default for Options {
@@ -106,6 +111,7 @@ impl Default for Options {
             csv: false,
             trace_out: None,
             metrics_out: None,
+            latency_out: None,
         }
     }
 }
@@ -152,6 +158,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--csv" => opts.csv = true,
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
+            "--latency-out" => opts.latency_out = Some(value("--latency-out")?),
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -248,7 +255,8 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
         cfg.scheduler.label(),
         cfg.policy.label(),
     );
-    let telemetry_wanted = opts.trace_out.is_some() || opts.metrics_out.is_some();
+    let telemetry_wanted =
+        opts.trace_out.is_some() || opts.metrics_out.is_some() || opts.latency_out.is_some();
     let rec = if telemetry_wanted {
         Recorder::new(RecorderConfig::default())
     } else {
@@ -312,6 +320,24 @@ fn write_telemetry(
             "wrote metrics ({} epochs, {} events) to {path}",
             telemetry.series.len(),
             telemetry.events.len()
+        );
+    }
+    if let Some(path) = &opts.latency_out {
+        let report = telemetry
+            .latency
+            .as_ref()
+            .ok_or_else(|| format!("--latency-out {path}: run produced no latency anatomy"))?;
+        let summary = Json::obj([
+            ("mix", Json::str(mix.name)),
+            ("policy", Json::str(cfg.policy.label())),
+            ("scheduler", Json::str(cfg.scheduler.label())),
+        ]);
+        let doc = export::latency_document(report, summary);
+        std::fs::write(path, doc.to_json())
+            .map_err(|e| format!("--latency-out {path}: {e}"))?;
+        eprintln!(
+            "wrote latency anatomy ({} reads) to {path} (render with `dbpreport {path}`)",
+            report.total_reads()
         );
     }
     Ok(())
