@@ -17,6 +17,16 @@ DBP_BENCH_ITERS=2 DBP_BENCH_WARMUP=0 DBP_BENCH_JSON="$(pwd)/BENCH_results.json" 
     cargo bench -q --offline --locked -p dbp-bench --bench micro
 ./target/release/jsonlint --require-key benchmarks BENCH_results.json
 
+# Perf-regression gate (soft by default): compare the fresh micro-bench
+# medians against the committed baseline and publish the verdict as
+# PERF_summary.json. Advisory here — CI iteration counts are tiny and
+# noisy — but a regressed/missing benchmark prints loudly; set
+# DBP_PERF_GATE=1 in the environment to make it fatal.
+./target/release/bench_all --perf-only \
+    --baseline BENCH_baseline.json --bench-results BENCH_results.json \
+    --perf-out "$(pwd)/PERF_summary.json"
+./target/release/jsonlint --require-key benchmarks --require-key gate_passed PERF_summary.json
+
 # Telemetry smoke test: a tiny traced run must produce machine-readable
 # exports that the in-tree JSON parser accepts.
 ./target/release/dbpsim run --bench mcf,povray \
@@ -30,20 +40,42 @@ DBP_BENCH_ITERS=2 DBP_BENCH_WARMUP=0 DBP_BENCH_JSON="$(pwd)/BENCH_results.json" 
 # table of every experiment) must be byte-identical between the serial
 # reference path (DBP_JOBS=1) and a parallel run (DBP_JOBS=2). Timing
 # goes to stderr, so the diff sees simulation results only. The parallel
-# run also publishes the suite-timing JSON alongside BENCH_results.json.
+# run also publishes the suite-timing JSON alongside BENCH_results.json,
+# and runs self-profiled — so the diff additionally proves an enabled
+# profiler does not perturb a single table of the suite.
 DBP_QUICK=1 DBP_JOBS=1 ./target/release/bench_all \
     > target/ci-suite-serial.txt 2> /dev/null
 DBP_QUICK=1 DBP_JOBS=2 ./target/release/bench_all \
     --json "$(pwd)/SUITE_timing.json" \
+    --profile-out "$(pwd)/PROF_suite.json" \
     > target/ci-suite-parallel.txt
 diff target/ci-suite-serial.txt target/ci-suite-parallel.txt
 ./target/release/jsonlint --require-key experiments --require-key total_wall_ns SUITE_timing.json
+./target/release/jsonlint --require-key spans --require-key counters PROF_suite.json
+./target/release/dbpprof PROF_suite.json > /dev/null
 
 # Latency-anatomy gate. The breakdown invariant (components sum exactly
 # to the total, u64 equality) asserts in every build profile; run the
 # named tests in release to prove the checks survive optimisation.
 cargo test -q --release --offline --locked -p dbp-memctrl breakdown_components_sum
 cargo test -q --release --offline --locked -p dbp-obs record_read_rejects
+
+# Self-profiling gate. The span exact-sum invariant (self + children ==
+# total, u64 equality) likewise asserts in every build profile.
+cargo test -q --release --offline --locked -p dbp-obs exact_sum
+
+# A profiled smoke run must export a schema-stamped profile document that
+# jsonlint accepts and dbpprof renders in all three modes; the folded
+# stacks are published as a CI artifact.
+./target/release/dbpsim run --bench mcf,povray \
+    --instructions 30000 --warmup 10000 --epoch 20000 --policy dbp \
+    --profile-out target/ci-profile.json > /dev/null
+./target/release/jsonlint --require-key spans --require-key counters target/ci-profile.json
+./target/release/dbpprof target/ci-profile.json > /dev/null
+./target/release/dbpprof --chrome target/ci-profile-chrome.json target/ci-profile.json
+./target/release/jsonlint --require-key traceEvents target/ci-profile-chrome.json
+./target/release/dbpprof --folded target/ci-profile.json > PROF_folded.txt
+test -s PROF_folded.txt
 
 # The export must be deterministic: two identical seeded runs produce
 # byte-identical --latency-out JSON, and both jsonlint modes (file arg

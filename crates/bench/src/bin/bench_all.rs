@@ -10,35 +10,91 @@
 //! - `--json <path>` (or `DBP_SUITE_JSON=<path>`) — write the suite
 //!   timing summary as JSON (CI publishes it next to
 //!   `BENCH_results.json`)
+//! - `--profile-out <path>` — self-profile the suite (spans + work
+//!   counters) and write the profile document there (render: `dbpprof`)
+//! - `--baseline <path>` — compare micro-bench medians against this
+//!   committed baseline (`BENCH_baseline.json`) and print a delta table
+//! - `--bench-results <path>` — the current medians for the comparison
+//!   (a `DBP_BENCH_JSON` artifact; required with `--baseline`)
+//! - `--perf-out <path>` — write the comparison as a perf-summary JSON
+//! - `--perf-only` — skip the experiment suite; just compare and gate
+//! - `--tolerance <frac>` (or `DBP_PERF_TOLERANCE`) — relative noise
+//!   tolerance for the comparison (default 0.35)
+//! - `DBP_PERF_GATE=1` — a regressed or missing benchmark exits 1
+//!   (default: warn and exit 0)
 //! - `DBP_JOBS=n` — worker count (`1` forces the serial reference path)
 //!
 //! Experiment tables go to **stdout** and are byte-identical for any
-//! worker count; timing and progress go to **stderr**, so
-//! `bench_all > tables.txt` is diffable across `DBP_JOBS` settings —
-//! exactly what the CI determinism gate does.
+//! worker count; timing, progress, and the perf delta table go to
+//! **stderr**, so `bench_all > tables.txt` is diffable across `DBP_JOBS`
+//! settings — exactly what the CI determinism gate does. Every artifact
+//! write failure is a hard error: CI must never mistake a run whose
+//! output silently vanished for a successful one.
 
 use dbp_bench::engine::Engine;
-use dbp_bench::{experiments, harness};
-use dbp_obs::export::{suite_timing_document, SuiteExperimentTiming};
+use dbp_bench::{experiments, harness, perf};
+use dbp_obs::export::{profile_document, suite_timing_document, SuiteExperimentTiming};
+use dbp_obs::{Json, Prof, Table};
 use dbp_util::bench::{fmt_ns, Stopwatch};
 
-fn main() {
-    let mut quick = harness::quick();
-    let mut json_path = std::env::var("DBP_SUITE_JSON").ok().filter(|p| !p.trim().is_empty());
+struct Opts {
+    quick: bool,
+    json_path: Option<String>,
+    profile_out: Option<String>,
+    baseline: Option<String>,
+    bench_results: Option<String>,
+    perf_out: Option<String>,
+    perf_only: bool,
+    tolerance: f64,
+}
+
+fn usage() -> &'static str {
+    "usage: bench_all [--quick] [--json <path>] [--profile-out <path>]\n\
+     \x20                [--baseline <path> --bench-results <path>] [--perf-out <path>]\n\
+     \x20                [--perf-only] [--tolerance <frac>]\n\
+     \x20  (DBP_JOBS=n sets workers; DBP_PERF_GATE=1 makes regressions fatal)"
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        quick: harness::quick(),
+        json_path: std::env::var("DBP_SUITE_JSON").ok().filter(|p| !p.trim().is_empty()),
+        profile_out: None,
+        baseline: None,
+        bench_results: None,
+        perf_out: None,
+        perf_only: false,
+        tolerance: perf::tolerance_from_env(),
+    };
     let mut args = std::env::args().skip(1);
+    let value = |flag: &str, args: &mut dyn Iterator<Item = String>| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("bench_all: {flag} needs a value");
+            std::process::exit(2);
+        })
+    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--quick" => quick = true,
-            "--json" => match args.next() {
-                Some(p) => json_path = Some(p),
-                None => {
-                    eprintln!("bench_all: --json needs a file path");
-                    std::process::exit(2);
+            "--quick" => opts.quick = true,
+            "--json" => opts.json_path = Some(value("--json", &mut args)),
+            "--profile-out" => opts.profile_out = Some(value("--profile-out", &mut args)),
+            "--baseline" => opts.baseline = Some(value("--baseline", &mut args)),
+            "--bench-results" => opts.bench_results = Some(value("--bench-results", &mut args)),
+            "--perf-out" => opts.perf_out = Some(value("--perf-out", &mut args)),
+            "--perf-only" => opts.perf_only = true,
+            "--tolerance" => {
+                let v = value("--tolerance", &mut args);
+                match v.trim().parse::<f64>() {
+                    Ok(t) if t.is_finite() && t >= 0.0 => opts.tolerance = t,
+                    _ => {
+                        eprintln!("bench_all: --tolerance needs a non-negative number, got `{v}`");
+                        std::process::exit(2);
+                    }
                 }
-            },
+            }
             "--help" | "-h" => {
-                eprintln!("usage: bench_all [--quick] [--json <path>]   (DBP_JOBS=n sets workers)");
-                return;
+                eprintln!("{}", usage());
+                std::process::exit(0);
             }
             other => {
                 eprintln!("bench_all: unknown argument `{other}` (try --help)");
@@ -46,13 +102,54 @@ fn main() {
             }
         }
     }
+    if opts.baseline.is_some() && opts.bench_results.is_none() {
+        eprintln!("bench_all: --baseline needs --bench-results <path> (the current medians)");
+        std::process::exit(2);
+    }
+    if opts.perf_only && opts.baseline.is_none() {
+        eprintln!("bench_all: --perf-only without --baseline has nothing to do");
+        std::process::exit(2);
+    }
+    opts
+}
 
-    let eng = Engine::from_env();
-    let cfg = harness::config_for(quick);
+/// Write `doc` to `path` or exit 1 — a vanished artifact must not look
+/// like success to CI.
+fn write_or_die(what: &str, path: &str, doc: &Json) {
+    match std::fs::write(path, doc.to_json()) {
+        Ok(()) => eprintln!("bench_all: wrote {what} to {path}"),
+        Err(e) => {
+            eprintln!("bench_all: cannot write {what} {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn load_medians(what: &str, path: &str) -> Vec<(String, u64)> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_all: cannot read {what} {path}: {e}");
+        std::process::exit(1);
+    });
+    let doc = dbp_obs::json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_all: {what} {path} is not valid JSON: {e}");
+        std::process::exit(1);
+    });
+    perf::parse_medians(&doc).unwrap_or_else(|e| {
+        eprintln!("bench_all: {what} {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn run_suite(opts: &Opts) {
+    let prof = if opts.profile_out.is_some() { Prof::enabled() } else { Prof::disabled() };
+    let mut eng = Engine::from_env();
+    eng.attach_profiler(&prof);
+    let cfg = harness::config_for(opts.quick);
     eprintln!(
-        "bench_all: {} worker(s), {} config",
+        "bench_all: {} worker(s), {} config{}",
         eng.workers(),
-        if quick { "quick" } else { "full (Table 1)" }
+        if opts.quick { "quick" } else { "full (Table 1)" },
+        if prof.is_enabled() { ", self-profiling on" } else { "" }
     );
 
     let suite = Stopwatch::start();
@@ -66,7 +163,7 @@ fn main() {
         println!("{body}");
         let done = eng.stats().since(&before);
         eprintln!(
-            "bench_all: {:<24} {:>12}   {} job(s), {} solo-cache hit(s)",
+            "bench_all: {} done in {} ({} job(s), {} solo-cache hit(s))",
             exp.name,
             fmt_ns(wall),
             done.jobs(),
@@ -82,6 +179,23 @@ fn main() {
 
     let total_ns = suite.elapsed_ns();
     let s = eng.stats();
+    let mut timing = Table::new(["experiment", "wall", "jobs", "cache hits"]);
+    timing.align_left(0);
+    for r in &rows {
+        timing.row([
+            r.name.clone(),
+            fmt_ns(r.wall_ns),
+            r.jobs.to_string(),
+            r.solo_cache_hits.to_string(),
+        ]);
+    }
+    timing.row([
+        "total".to_owned(),
+        fmt_ns(total_ns),
+        s.jobs().to_string(),
+        s.solo_cache_hits.to_string(),
+    ]);
+    eprint!("{}", timing.render());
     eprintln!(
         "bench_all: suite done in {} on {} worker(s) — {} jobs ({} shared, {} solo, {} aux), \
          {} solo-cache hits ({} distinct solo runs memoized)",
@@ -95,15 +209,74 @@ fn main() {
         eng.cached_solo_runs()
     );
 
-    if let Some(path) = json_path {
+    if let Some(path) = &opts.json_path {
         let doc =
-            suite_timing_document(eng.workers(), quick, total_ns, &rows, &eng.take_annotations());
-        match std::fs::write(&path, doc.to_json()) {
-            Ok(()) => eprintln!("bench_all: wrote suite timing JSON to {path}"),
-            Err(e) => {
-                eprintln!("bench_all: cannot write {path}: {e}");
-                std::process::exit(1);
-            }
-        }
+            suite_timing_document(eng.workers(), opts.quick, total_ns, &rows, &eng.take_annotations());
+        write_or_die("suite timing JSON", path, &doc);
+    }
+    if let Some(path) = &opts.profile_out {
+        let profile = prof.snapshot();
+        let summary = Json::obj([
+            ("source", Json::str("bench_all")),
+            ("workers", Json::uint(eng.workers() as u64)),
+            ("quick", Json::Bool(opts.quick)),
+            ("suite_wall_ns", Json::uint(total_ns as u64)),
+        ]);
+        write_or_die("self-profile JSON", path, &profile_document(&profile, summary));
+    }
+}
+
+/// Compare medians against the baseline; returns whether the gate failed.
+fn run_perf_compare(opts: &Opts) -> bool {
+    let Some(baseline_path) = &opts.baseline else { return false };
+    let results_path = opts.bench_results.as_deref().expect("checked in parse_opts");
+    let baseline = load_medians("baseline", baseline_path);
+    let current = load_medians("bench results", results_path);
+    let rows = perf::compare(&baseline, &current, opts.tolerance);
+    eprintln!(
+        "bench_all: perf comparison vs {baseline_path} (tolerance ±{:.0}%)",
+        opts.tolerance * 100.0
+    );
+    eprint!("{}", perf::delta_table(&rows).render());
+
+    let gate_enforced = std::env::var("DBP_PERF_GATE").is_ok_and(|v| v.trim() == "1");
+    if let Some(path) = &opts.perf_out {
+        let doc = perf::perf_summary_document(&rows, opts.tolerance, gate_enforced);
+        write_or_die("perf summary JSON", path, &doc);
+    }
+    let failures = perf::gate_failures(&rows);
+    if failures.is_empty() {
+        eprintln!("bench_all: perf gate passed ({} benchmark(s) compared)", rows.len());
+        return false;
+    }
+    for f in &failures {
+        eprintln!(
+            "bench_all: perf {}: {} (baseline {}, current {})",
+            f.status.as_str(),
+            f.name,
+            f.baseline_ns.map_or_else(|| "-".into(), |n| fmt_ns(u128::from(n))),
+            f.current_ns.map_or_else(|| "-".into(), |n| fmt_ns(u128::from(n))),
+        );
+    }
+    if gate_enforced {
+        eprintln!("bench_all: perf gate FAILED ({} finding(s); DBP_PERF_GATE=1)", failures.len());
+        true
+    } else {
+        eprintln!(
+            "bench_all: perf gate would fail ({} finding(s)) — advisory only; \
+             set DBP_PERF_GATE=1 to enforce",
+            failures.len()
+        );
+        false
+    }
+}
+
+fn main() {
+    let opts = parse_opts();
+    if !opts.perf_only {
+        run_suite(&opts);
+    }
+    if run_perf_compare(&opts) {
+        std::process::exit(1);
     }
 }

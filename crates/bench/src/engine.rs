@@ -23,7 +23,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Mutex;
 
-use dbp_obs::Json;
+use dbp_obs::{Json, Prof};
 use dbp_sim::runner::{self, MixRun};
 use dbp_sim::{RunResult, SimConfig};
 use dbp_workloads::Mix;
@@ -77,6 +77,8 @@ pub struct Engine {
     cache: Mutex<HashMap<SoloKey, f64>>,
     stats: Mutex<EngineStats>,
     annotations: Mutex<Vec<(String, Json)>>,
+    /// Host-side self-profiler; disabled by default (one branch per job).
+    prof: Prof,
 }
 
 impl std::fmt::Debug for Engine {
@@ -115,6 +117,7 @@ impl Engine {
             cache: Mutex::new(HashMap::new()),
             stats: Mutex::new(EngineStats::default()),
             annotations: Mutex::new(Vec::new()),
+            prof: Prof::disabled(),
         }
     }
 
@@ -126,6 +129,16 @@ impl Engine {
     /// The worker count this engine schedules onto.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Route host-side self-profiling into `prof`: every pool job gets a
+    /// `bench/*` span, shared runs additionally carry the simulator's own
+    /// `sim/*`, `memctrl/*` spans and work counters. Workers flush their
+    /// thread-local span trees before each job returns, so a
+    /// [`Prof::snapshot`] taken between grid calls sees everything.
+    /// Profiling only observes — tables stay byte-identical.
+    pub fn attach_profiler(&mut self, prof: &Prof) {
+        self.prof = prof.clone();
     }
 
     /// Snapshot of the cumulative work counters.
@@ -194,9 +207,22 @@ impl Engine {
             }
         }
 
-        let outs = pool::par_map(self.workers, jobs, |job| match job {
-            Job::Solo { cfg, mix, core } => JobOut::Solo(runner::alone_ipc(&cfg, &mix, core)),
-            Job::Shared { cfg, mix } => JobOut::Shared(runner::run_shared(&cfg, &mix)),
+        let prof = &self.prof;
+        let outs = pool::par_map(self.workers, jobs, |job| {
+            let out = match job {
+                Job::Solo { cfg, mix, core } => {
+                    let _s = prof.span("bench/solo_run");
+                    JobOut::Solo(runner::alone_ipc(&cfg, &mix, core))
+                }
+                Job::Shared { cfg, mix } => {
+                    let _s = prof.span("bench/shared_run");
+                    JobOut::Shared(runner::run_shared_profiled(&cfg, &mix, prof.clone()))
+                }
+            };
+            // Pool workers die with the scope; hand this thread's span
+            // tree back to the profiler while it is still complete.
+            prof.flush_thread();
+            out
         });
 
         {
@@ -249,7 +275,15 @@ impl Engine {
             }
         }
         self.stats.lock().expect("stats poisoned").shared_runs += jobs.len() as u64;
-        let outs = pool::par_map(self.workers, jobs, |(cfg, mix)| runner::run_shared(&cfg, &mix));
+        let prof = &self.prof;
+        let outs = pool::par_map(self.workers, jobs, |(cfg, mix)| {
+            let out = {
+                let _s = prof.span("bench/shared_run");
+                runner::run_shared_profiled(&cfg, &mix, prof.clone())
+            };
+            prof.flush_thread();
+            out
+        });
         let mut it = outs.into_iter();
         mixes
             .iter()
@@ -265,7 +299,15 @@ impl Engine {
         T: Send,
     {
         self.stats.lock().expect("stats poisoned").aux_runs += items.len() as u64;
-        pool::par_map(self.workers, items, f)
+        let prof = &self.prof;
+        pool::par_map(self.workers, items, |item| {
+            let out = {
+                let _s = prof.span("bench/aux_job");
+                f(item)
+            };
+            prof.flush_thread();
+            out
+        })
     }
 }
 
@@ -360,6 +402,37 @@ mod tests {
         let direct = dbp_sim::runner::run_mix(&combos[1].apply(&cfg), &mixes[0]);
         assert_eq!(serial[0][1].alone_ipcs, direct.alone_ipcs);
         assert_eq!(serial[0][1].metrics, direct.metrics);
+    }
+
+    #[test]
+    fn profiled_grid_is_byte_identical_and_flushes_workers() {
+        let cfg = tiny_cfg();
+        let mixes = [mixes_4core()[0].clone()];
+        let combos = [harness::shared(), harness::dbp()];
+        let plain = Engine::with_workers(2).run_grid(&cfg, &mixes, &combos);
+
+        let prof = Prof::enabled();
+        let mut eng = Engine::with_workers(2);
+        eng.attach_profiler(&prof);
+        let profiled = eng.run_grid(&cfg, &mixes, &combos);
+        for (prow, qrow) in plain.iter().zip(&profiled) {
+            for (p, q) in prow.iter().zip(qrow) {
+                assert_eq!(p.alone_ipcs, q.alone_ipcs);
+                assert_eq!(p.shared, q.shared);
+            }
+        }
+        // Worker trees were flushed: the snapshot sees every job, with
+        // the simulator's own spans nested under the shared runs.
+        let p = prof.snapshot();
+        let shared = p
+            .spans
+            .iter()
+            .find(|s| s.name == "bench/shared_run")
+            .expect("shared-run span present");
+        assert_eq!(shared.count, 2);
+        assert!(shared.children.iter().any(|c| c.name == "sim/measure"));
+        let solo = p.spans.iter().find(|s| s.name == "bench/solo_run").unwrap();
+        assert_eq!(solo.count, 4);
     }
 
     #[test]

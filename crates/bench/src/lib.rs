@@ -22,6 +22,8 @@
 pub mod engine;
 pub mod experiments;
 pub mod harness;
+pub mod micro;
+pub mod perf;
 pub mod pool;
 
 /// Entry point shared by the per-experiment binaries: look up `name` in

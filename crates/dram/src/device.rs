@@ -44,6 +44,11 @@ pub struct Dram {
     banks: Vec<BankState>,        // [(channel * ranks + rank) * banks + bank]
     refresh_due: Vec<Cycle>,      // per rank, absolute deadline of next REF
     stats: DramStats,
+    /// Host-profiling work counter: timing-oracle queries
+    /// ([`Dram::earliest_issue`] / [`Dram::can_issue`] /
+    /// [`Dram::timing_ready`]). Disabled by default (one branch);
+    /// clones share the same cell.
+    timing_queries: dbp_obs::prof::Counter,
 }
 
 impl Dram {
@@ -67,7 +72,16 @@ impl Dram {
             stats: DramStats::new(nba),
             mapper,
             cfg,
+            timing_queries: dbp_obs::prof::Counter::default(),
         }
+    }
+
+    /// Register this device's work counters with a host self-profiler.
+    /// The `dram/timing_queries` counter measures how often the
+    /// controller polls the timing oracle — the per-cycle scan cost the
+    /// event-driven core (ROADMAP item 1) is meant to eliminate.
+    pub fn attach_profiler(&mut self, prof: &dbp_obs::Prof) {
+        self.timing_queries = prof.counter("dram/timing_queries");
     }
 
     /// The device configuration.
@@ -119,6 +133,7 @@ impl Dram {
     }
 
     fn earliest_issue_inner(&self, cmd: &Command, now: Cycle) -> Option<Cycle> {
+        self.timing_queries.incr();
         let t = &self.cfg.timing;
         match *cmd {
             Command::Activate { loc, .. } => {

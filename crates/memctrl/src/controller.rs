@@ -89,6 +89,14 @@ pub struct MemoryController {
     stats: CtrlStats,
     closed_page: bool,
     anat: Anatomy,
+    /// Host self-profiler (wall-clock spans; distinct from `prof`, the
+    /// DRAM-side per-thread profiling the policies consume). Disabled by
+    /// default: every span/counter call is one branch.
+    host_prof: dbp_obs::Prof,
+    ctr_enq: dbp_obs::prof::Counter,
+    ctr_cmds: dbp_obs::prof::Counter,
+    ctr_idle: dbp_obs::prof::Counter,
+    ctr_blocked: dbp_obs::prof::Counter,
 }
 
 impl MemoryController {
@@ -107,10 +115,30 @@ impl MemoryController {
             stats: CtrlStats::default(),
             closed_page,
             anat: Anatomy::default(),
+            host_prof: dbp_obs::Prof::disabled(),
+            ctr_enq: dbp_obs::prof::Counter::default(),
+            ctr_cmds: dbp_obs::prof::Counter::default(),
+            ctr_idle: dbp_obs::prof::Counter::default(),
+            ctr_blocked: dbp_obs::prof::Counter::default(),
             dram,
             cfg,
             sched,
         }
+    }
+
+    /// Attach a host self-profiler: wall-clock spans around scheduling /
+    /// issue / anatomy, plus the work counters that size ROADMAP item 1
+    /// (`memctrl/idle_ticks` is the wasted-poll number the event
+    /// calendar would skip, `memctrl/blocked_ticks` the polls with work
+    /// in flight but no issuable command). Observation-only: attaching
+    /// changes no scheduling decision.
+    pub fn attach_profiler(&mut self, prof: &dbp_obs::Prof) {
+        self.host_prof = prof.clone();
+        self.ctr_enq = prof.counter("memctrl/requests_enqueued");
+        self.ctr_cmds = prof.counter("memctrl/commands_issued");
+        self.ctr_idle = prof.counter("memctrl/idle_ticks");
+        self.ctr_blocked = prof.counter("memctrl/blocked_ticks");
+        self.dram.attach_profiler(prof);
     }
 
     /// The underlying device (read-only).
@@ -222,6 +250,7 @@ impl MemoryController {
             d.channel
         );
         let gbank = self.global_bank(&req);
+        self.ctr_enq.incr();
         self.prof
             .on_enqueue(req.thread, gbank, req.is_write, req.kind != TrafficKind::Migration);
         if req.is_write {
@@ -241,7 +270,23 @@ impl MemoryController {
     /// run the scheduler, and issue at most one command per channel.
     ///
     /// Finished demand reads are appended to `completed`.
+    ///
+    /// Dispatches once on whether the host profiler is live so the
+    /// `PROF = false` monomorphisation carries no span guards at all.
     pub fn tick(&mut self, now: Cycle, completed: &mut Vec<Completion>) {
+        if self.host_prof.is_enabled() {
+            self.tick_impl::<true>(now, completed);
+        } else {
+            self.tick_impl::<false>(now, completed);
+        }
+    }
+
+    fn tick_impl<const PROF: bool>(&mut self, now: Cycle, completed: &mut Vec<Completion>) {
+        let _tick = PROF.then(|| self.host_prof.span("memctrl/tick"));
+        // `in_flight` walks every queue, so only pay for it when the
+        // idle/blocked counters are live.
+        let watch_polls = PROF && self.ctr_idle.is_enabled();
+        let in_flight_at_start = if watch_polls { self.in_flight() } else { 0 };
         while let Some(&Reverse(p)) = self.pending.peek() {
             if p.ready_at > now {
                 break;
@@ -252,20 +297,38 @@ impl MemoryController {
             completed.push(Completion { id: p.id, thread: p.thread });
         }
         self.prof.sample_blp();
-        self.sched.tick(now, &self.prof, &self.read_q);
+        {
+            let _s = PROF.then(|| self.host_prof.span("memctrl/sched"));
+            self.sched.tick(now, &self.prof, &self.read_q);
+        }
         let channels = self.dram.cfg().channels;
+        let any_issued;
         if self.anat.is_enabled() {
             // Issue first, then attribute: a request whose column command
             // went out this cycle has left the queue, so it accrues no
             // wait for its final cycle and the components stay strictly
             // below the total latency (the remainder is intrinsic).
-            let issued: Vec<Option<IssuedCmd>> =
-                (0..channels).map(|ch| self.issue_channel(ch, now)).collect();
+            let issued: Vec<Option<IssuedCmd>> = {
+                let _s = PROF.then(|| self.host_prof.span("memctrl/issue"));
+                (0..channels).map(|ch| self.issue_channel(ch, now)).collect()
+            };
+            any_issued = issued.iter().any(Option::is_some);
+            let _s = PROF.then(|| self.host_prof.span("memctrl/anatomy"));
             let MemoryController { dram, read_q, anat, closed_page, .. } = self;
             anat.attribute_cycle(now, dram, read_q, &issued, *closed_page);
         } else {
+            let _s = PROF.then(|| self.host_prof.span("memctrl/issue"));
+            let mut any = false;
             for ch in 0..channels {
-                self.issue_channel(ch, now);
+                any |= self.issue_channel(ch, now).is_some();
+            }
+            any_issued = any;
+        }
+        if watch_polls {
+            if in_flight_at_start == 0 {
+                self.ctr_idle.incr();
+            } else if !any_issued {
+                self.ctr_blocked.incr();
             }
         }
     }
@@ -311,6 +374,7 @@ impl MemoryController {
                 Some(at) if at == now => {
                     self.dram.issue(&rf, now);
                     self.stats.cmd_ref += 1;
+                    self.ctr_cmds.incr();
                     return Some(IssuedCmd {
                         rank,
                         bank: None,
@@ -327,6 +391,7 @@ impl MemoryController {
                         if self.dram.can_issue(&pre, now) {
                             self.dram.issue(&pre, now);
                             self.stats.cmd_pre += 1;
+                            self.ctr_cmds.incr();
                             return Some(IssuedCmd {
                                 rank,
                                 bank: Some(bank),
@@ -412,6 +477,7 @@ impl MemoryController {
             q[i].classified = true;
         }
         let res = self.dram.issue(&cmd, now);
+        self.ctr_cmds.incr();
         match cmd.kind() {
             CommandKind::Activate => self.stats.cmd_act += 1,
             CommandKind::Precharge => self.stats.cmd_pre += 1,
@@ -671,6 +737,53 @@ mod tests {
         run(&mut m, 60);
         assert_eq!(m.prof().epoch(0).served_reads, 1);
         assert_eq!(m.prof().epoch(1).served_reads, 1);
+    }
+
+    /// The host self-profiler is observation-only: identical completions
+    /// and stats with it attached, work counters that reconcile with the
+    /// controller's own counters, and exact-sum span aggregates.
+    #[test]
+    fn host_profiler_counts_work_without_perturbing() {
+        let ticks = 200;
+        let feed = |m: &mut MemoryController| {
+            for i in 0..6u64 {
+                m.enqueue(MemRequest::demand_read(i, 0, i * 4096, 0));
+            }
+        };
+        let mut plain = mc(Box::new(FrFcfs), 1);
+        feed(&mut plain);
+        let done_plain = run(&mut plain, ticks);
+
+        let prof = dbp_obs::Prof::enabled();
+        let mut profiled = mc(Box::new(FrFcfs), 1);
+        profiled.attach_profiler(&prof);
+        feed(&mut profiled);
+        let done_prof = run(&mut profiled, ticks);
+
+        assert_eq!(done_plain, done_prof);
+        assert_eq!(plain.stats(), profiled.stats());
+
+        let snap = prof.snapshot(); // asserts exact-sum
+        let get = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+        };
+        assert_eq!(get("memctrl/requests_enqueued"), 6);
+        let s = profiled.stats();
+        assert_eq!(
+            get("memctrl/commands_issued"),
+            s.cmd_act + s.cmd_pre + s.cmd_rd + s.cmd_wr + s.cmd_ref
+        );
+        // Six reads drain quickly; most of the 200 polls find nothing.
+        assert!(get("memctrl/idle_ticks") > 0);
+        assert!(get("dram/timing_queries") >= get("memctrl/commands_issued"));
+        let tick = snap.spans.iter().find(|s| s.name == "memctrl/tick").expect("tick span");
+        assert_eq!(tick.count, ticks);
+        let names: Vec<&str> = tick.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["memctrl/issue", "memctrl/sched"]);
     }
 }
 

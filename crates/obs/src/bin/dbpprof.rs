@@ -1,0 +1,167 @@
+//! Render simulator self-profiles (`--profile-out` exports).
+//!
+//! `dbpprof` reads `profile_document` JSON — produced by
+//! `dbpsim --profile-out` and `bench_all --profile-out` — validates the
+//! schema version and the exact-sum span invariant, and renders:
+//!
+//! * the work counters (requests enqueued, commands issued, idle polls);
+//! * the span tree with count / total / self / max wall time;
+//! * the hottest paths by self time.
+//!
+//! Modes:
+//!
+//! * `dbpprof [--md] [--top N] <file>...` — aligned tables (markdown
+//!   with `--md`); no files reads stdin.
+//! * `dbpprof --folded <file>` — flamegraph-ready folded stacks on
+//!   stdout (`path;to;leaf self_ns`), pipe into `flamegraph.pl`.
+//! * `dbpprof --chrome <out.json> <file>` — convert to a Chrome
+//!   `trace_event` document (synthetic timeline, real durations) for
+//!   `chrome://tracing` / Perfetto.
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use dbp_obs::export;
+use dbp_obs::json::{self, Json};
+use dbp_obs::prof::{counter_table, span_table, top_self_table, Profile};
+use dbp_obs::table::{fmt_ns, Table};
+
+enum Mode {
+    Tables { md: bool, top: usize },
+    Folded,
+    Chrome { out: String },
+}
+
+fn push_table(out: &mut String, caption: &str, t: &Table, md: bool) {
+    if md {
+        out.push_str(&format!("\n**{caption}**\n\n"));
+        out.push_str(&t.to_markdown());
+    } else {
+        out.push_str(&format!("\n{caption}:\n"));
+        out.push_str(&t.render());
+    }
+}
+
+fn summary_line(doc: &Json) -> String {
+    let Some(Json::Obj(pairs)) = doc.get("summary") else { return String::new() };
+    let mut parts = Vec::new();
+    for (k, v) in pairs {
+        match v {
+            Json::Str(s) => parts.push(format!("{k}={s}")),
+            Json::Num(n) => parts.push(format!("{k}={n}")),
+            Json::Bool(b) => parts.push(format!("{k}={b}")),
+            _ => {}
+        }
+    }
+    if parts.is_empty() { String::new() } else { format!("summary: {}\n", parts.join("  ")) }
+}
+
+fn load(label: &str, text: &str) -> Result<(Json, Profile), String> {
+    let doc = json::parse(text).map_err(|e| format!("{label}: {e}"))?;
+    export::check_schema_version(&doc).map_err(|e| format!("{label}: {e}"))?;
+    let profile = Profile::from_json(&doc).map_err(|e| format!("{label}: {e}"))?;
+    Ok((doc, profile))
+}
+
+fn render_tables(label: &str, doc: &Json, p: &Profile, md: bool, top: usize) {
+    println!("== {label} ==");
+    let mut out = summary_line(doc);
+    out.push_str(&format!("profiled wall time: {}\n", fmt_ns(u128::from(p.total_ns()))));
+    if !p.counters.is_empty() {
+        push_table(&mut out, "work counters", &counter_table(p), md);
+    }
+    push_table(&mut out, "span tree (wall clock, exact-sum)", &span_table(p), md);
+    push_table(&mut out, &format!("top {top} by self time"), &top_self_table(p, top), md);
+    println!("{out}");
+}
+
+fn run(mode: &Mode, files: &[String]) -> Result<(), String> {
+    let mut inputs: Vec<(String, String)> = Vec::new();
+    if files.is_empty() {
+        let mut text = String::new();
+        std::io::stdin().read_to_string(&mut text).map_err(|e| format!("<stdin>: {e}"))?;
+        inputs.push(("<stdin>".to_string(), text));
+    }
+    for f in files {
+        let text = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
+        inputs.push((f.clone(), text));
+    }
+    match mode {
+        Mode::Tables { md, top } => {
+            for (label, text) in &inputs {
+                let (doc, p) = load(label, text)?;
+                render_tables(label, &doc, &p, *md, *top);
+            }
+        }
+        Mode::Folded => {
+            for (label, text) in &inputs {
+                let (_, p) = load(label, text)?;
+                print!("{}", p.folded());
+            }
+        }
+        Mode::Chrome { out } => {
+            if inputs.len() != 1 {
+                return Err("--chrome takes exactly one input profile".to_string());
+            }
+            let (label, text) = &inputs[0];
+            let (_, p) = load(label, text)?;
+            let trace = export::profile_chrome_trace(&p);
+            std::fs::write(out, trace.to_json()).map_err(|e| format!("{out}: {e}"))?;
+            eprintln!("dbpprof: wrote Chrome trace to {out}");
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut md = false;
+    let mut top = 10usize;
+    let mut folded = false;
+    let mut chrome: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--md" => md = true,
+            "--folded" => folded = true,
+            "--chrome" => match args.next() {
+                Some(path) => chrome = Some(path),
+                None => {
+                    eprintln!("dbpprof: --chrome needs an output path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--top" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => top = n,
+                None => {
+                    eprintln!("dbpprof: --top needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "-h" | "--help" => {
+                println!("usage: dbpprof [--md] [--top N] [<file>...]   (no files: read stdin)");
+                println!("       dbpprof --folded [<file>...]   flamegraph folded stacks");
+                println!("       dbpprof --chrome <out.json> <file>   Chrome trace_event export");
+                println!("renders dbpsim/bench_all --profile-out self-profiles");
+                return ExitCode::SUCCESS;
+            }
+            _ => files.push(a),
+        }
+    }
+    let mode = match (folded, chrome) {
+        (true, Some(_)) => {
+            eprintln!("dbpprof: --folded and --chrome are mutually exclusive");
+            return ExitCode::FAILURE;
+        }
+        (true, None) => Mode::Folded,
+        (false, Some(out)) => Mode::Chrome { out },
+        (false, None) => Mode::Tables { md, top },
+    };
+    match run(&mode, &files) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dbpprof: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

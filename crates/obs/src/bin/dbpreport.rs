@@ -122,6 +122,20 @@ fn render_suite(doc: &Json, md: bool) -> Result<String, String> {
     Ok(out)
 }
 
+/// Self-profile documents get a summary here; `dbpprof` is the full
+/// renderer (folded stacks, Chrome export, top-N).
+fn render_profile(doc: &Json, md: bool) -> Result<String, String> {
+    let profile = dbp_obs::prof::Profile::from_json(doc)?;
+    let mut out = summary_line(doc);
+    out.push_str(&format!(
+        "self-profile: {} wall, {} counters (full rendering: dbpprof)\n",
+        dbp_obs::table::fmt_ns(u128::from(profile.total_ns())),
+        profile.counters.len()
+    ));
+    push_table(&mut out, "span tree (wall clock, exact-sum)", &dbp_obs::prof::span_table(&profile), md);
+    Ok(out)
+}
+
 fn render_trace(doc: &Json, _md: bool) -> Result<String, String> {
     let events = doc.get("traceEvents").and_then(Json::as_arr).ok_or("missing traceEvents")?;
     let (mut instants, mut counters, mut meta) = (0u64, 0u64, 0u64);
@@ -150,8 +164,10 @@ fn render_doc(doc: &Json, md: bool) -> Result<String, String> {
         render_suite(doc, md)
     } else if doc.get("traceEvents").is_some() {
         render_trace(doc, md)
+    } else if doc.get("spans").is_some() {
+        render_profile(doc, md)
     } else {
-        Err("unrecognised document (expected a latency, metrics, suite-timing, or trace export)"
+        Err("unrecognised document (expected a latency, metrics, suite-timing, trace, or profile export)"
             .to_string())
     }
 }

@@ -14,6 +14,7 @@
 use crate::event::TraceEvent;
 use crate::json::Json;
 use crate::latency::LatencyReport;
+use crate::prof::{Profile, ProfSpan};
 use crate::recorder::{EpochSample, Telemetry};
 
 /// Format version stamped into both documents so downstream tooling can
@@ -161,6 +162,83 @@ pub fn suite_timing_document(
             })),
         ),
         ("annotations", Json::Obj(annotations.to_vec())),
+    ])
+}
+
+/// Build the self-profile document for `--profile-out`: version stamps,
+/// caller-provided run context, then the [`Profile`] body (span tree +
+/// work counters). Render it with the `dbpprof` bin; parse it back with
+/// [`Profile::from_json`].
+pub fn profile_document(p: &Profile, summary: Json) -> Json {
+    let mut pairs = vec![
+        ("format_version".to_string(), Json::uint(FORMAT_VERSION)),
+        ("schema_version".to_string(), Json::str(SCHEMA_VERSION)),
+        ("summary".to_string(), summary),
+        ("total_ns".to_string(), Json::uint(p.total_ns())),
+    ];
+    match p.to_json() {
+        Json::Obj(body) => pairs.extend(body),
+        _ => unreachable!("Profile::to_json returns an object"),
+    }
+    Json::Obj(pairs)
+}
+
+/// Render an aggregated [`Profile`] as a Chrome `trace_event` document.
+///
+/// A merged profile has no per-occurrence timestamps, so spans are laid
+/// out on a *synthetic* timeline: each node becomes one complete ("X")
+/// event of duration `total_ns`, children packed left-to-right inside
+/// their parent starting at its open edge; the gap that remains on the
+/// right is the parent's self time. Durations and proportions are real,
+/// horizontal order is not chronology.
+pub fn profile_chrome_trace(p: &Profile) -> Json {
+    fn emit(s: &ProfSpan, start_ns: u64, out: &mut Vec<Json>) {
+        out.push(Json::obj([
+            ("name", Json::str(&s.name)),
+            ("ph", Json::str("X")),
+            ("ts", Json::num(start_ns as f64 / 1e3)),
+            ("dur", Json::num(s.total_ns as f64 / 1e3)),
+            ("pid", Json::uint(0)),
+            ("tid", Json::uint(0)),
+            (
+                "args",
+                Json::obj([
+                    ("count", Json::uint(s.count)),
+                    ("self_ns", Json::uint(s.self_ns)),
+                    ("max_ns", Json::uint(s.max_ns)),
+                ]),
+            ),
+        ]));
+        let mut cursor = start_ns;
+        for c in &s.children {
+            emit(c, cursor, out);
+            cursor += c.total_ns;
+        }
+    }
+    let mut events: Vec<Json> = vec![
+        Json::obj([
+            ("name", Json::str("process_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::uint(0)),
+            ("args", Json::obj([("name", Json::str("dbp self-profile"))])),
+        ]),
+        Json::obj([
+            ("name", Json::str("thread_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::uint(0)),
+            ("tid", Json::uint(0)),
+            ("args", Json::obj([("name", Json::str("aggregated spans"))])),
+        ]),
+    ];
+    let mut cursor = 0u64;
+    for s in &p.spans {
+        emit(s, cursor, &mut events);
+        cursor += s.total_ns;
+    }
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::str("ns")),
+        ("otherData", Json::obj([("clock", Json::str("synthetic_wall_ns"))])),
     ])
 }
 
@@ -442,6 +520,74 @@ mod tests {
         // parser agree on every value in the export.
         assert_eq!(json::parse(&back.to_json()).unwrap(), back);
         assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn profile_document_round_trips_with_schema() {
+        let prof = crate::prof::Prof::enabled();
+        {
+            let _run = prof.span("run");
+            let _tick = prof.span("tick");
+        }
+        prof.counter("cycles").add(42);
+        let p = prof.snapshot();
+        let doc = profile_document(&p, Json::obj([("mix", Json::str("mix-a"))]));
+        let back = json::parse(&doc.to_json()).expect("profile doc must be valid JSON");
+        assert!(check_schema_version(&back).is_ok());
+        assert_eq!(back.get("schema_version").and_then(Json::as_str), Some(SCHEMA_VERSION));
+        assert_eq!(
+            back.get("summary").and_then(|s| s.get("mix")).and_then(Json::as_str),
+            Some("mix-a")
+        );
+        assert_eq!(back.get("total_ns").and_then(Json::as_num), Some(p.total_ns() as f64));
+        let parsed = Profile::from_json(&back).expect("body must reconstruct");
+        assert_eq!(parsed, p);
+        // A future-major producer is rejected before anyone reads the body.
+        let future = json::parse(&doc.to_json().replace("\"1.0\"", "\"2.0\"")).unwrap();
+        assert!(check_schema_version(&future).unwrap_err().contains("newer"));
+    }
+
+    #[test]
+    fn profile_chrome_trace_packs_children_inside_parents() {
+        let p = Profile {
+            spans: vec![ProfSpan {
+                name: "run".to_string(),
+                count: 1,
+                total_ns: 10_000,
+                self_ns: 4_000,
+                max_ns: 10_000,
+                children: vec![
+                    ProfSpan {
+                        name: "a".to_string(),
+                        count: 2,
+                        total_ns: 2_000,
+                        self_ns: 2_000,
+                        max_ns: 1_500,
+                        children: vec![],
+                    },
+                    ProfSpan {
+                        name: "b".to_string(),
+                        count: 1,
+                        total_ns: 4_000,
+                        self_ns: 4_000,
+                        max_ns: 4_000,
+                        children: vec![],
+                    },
+                ],
+            }],
+            counters: vec![],
+        };
+        p.assert_exact_sum();
+        let doc = profile_chrome_trace(&p);
+        let back = json::parse(&doc.to_json()).expect("must be RFC 8259");
+        let events = back.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let xs: Vec<_> =
+            events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("X")).collect();
+        assert_eq!(xs.len(), 3);
+        // Child "b" starts where "a" ends (ts in microseconds).
+        let b = xs.iter().find(|e| e.get("name").and_then(Json::as_str) == Some("b")).unwrap();
+        assert_eq!(b.get("ts").and_then(Json::as_num), Some(2.0));
+        assert_eq!(b.get("dur").and_then(Json::as_num), Some(4.0));
     }
 
     #[test]

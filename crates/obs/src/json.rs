@@ -71,6 +71,14 @@ impl Json {
         }
     }
 
+    /// The boolean value (`None` on non-booleans).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The numeric value (`None` on non-numbers).
     pub fn as_num(&self) -> Option<f64> {
         match self {

@@ -11,7 +11,11 @@
 //!   instrumentation never perturbs the simulation;
 //! * [`export`] — renders captured [`Telemetry`] as a metrics JSON
 //!   document and a Chrome `trace_event` file for
-//!   `chrome://tracing` / Perfetto.
+//!   `chrome://tracing` / Perfetto;
+//! * [`prof`] — host-side self-profiling: exact-sum wall-clock span
+//!   trees and monotonic work counters behind the same cheap-clone
+//!   disabled-is-one-branch handle shape as [`Recorder`]. Rendered by
+//!   the `dbpprof` bin.
 //!
 //! The crate intentionally depends on nothing else in the workspace (or
 //! outside it) so any layer can use it without cycles.
@@ -21,6 +25,7 @@ pub mod export;
 pub mod hist;
 pub mod json;
 pub mod latency;
+pub mod prof;
 pub mod recorder;
 pub mod table;
 
@@ -28,5 +33,6 @@ pub use event::{EventKind, MigrationCause, TraceEvent};
 pub use hist::Histogram;
 pub use json::Json;
 pub use latency::{CoreLatency, LatencyReport, Matrix};
+pub use prof::{Counter, Prof, ProfSpan, Profile};
 pub use recorder::{EpochSample, Recorder, RecorderConfig, Telemetry, ThreadSample};
 pub use table::Table;

@@ -5,17 +5,49 @@
 //! must not depend on the simulator) renders with the same code that
 //! produced every committed `results/*.txt` table.
 
+/// Human-readable wall time: picks ns/us/ms/s to keep 3-4 significant
+/// digits. Shared by the micro-bench report, the experiment-suite
+/// timing summary, and the self-profiler tables. (Lives here rather
+/// than `dbp-util` because util depends on this crate, not the other
+/// way round; `dbp_util::bench::fmt_ns` re-exports it.)
+pub fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
 /// A simple fixed-width table accumulated row by row.
 #[derive(Debug, Clone)]
 pub struct Table {
     headers: Vec<String>,
     rows: Vec<Vec<String>>,
+    /// Per-column alignment; `true` = left. Defaults to right (numeric).
+    left: Vec<bool>,
 }
 
 impl Table {
     /// Start a table with the given column headers.
     pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let left = vec![false; headers.len()];
+        Table { headers, rows: Vec::new(), left }
+    }
+
+    /// Left-align column `col` (name-like columns; numeric columns keep
+    /// the right-aligned default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn align_left(&mut self, col: usize) -> &mut Self {
+        self.left[col] = true;
+        self
     }
 
     /// Append a row.
@@ -51,12 +83,20 @@ impl Table {
         }
         let mut out = String::new();
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            cells
+            let line = cells
                 .iter()
                 .zip(widths)
-                .map(|(cell, w)| format!("{cell:>w$}"))
+                .zip(&self.left)
+                .map(|((cell, w), &l)| {
+                    if l {
+                        format!("{cell:<w$}")
+                    } else {
+                        format!("{cell:>w$}")
+                    }
+                })
                 .collect::<Vec<_>>()
-                .join("  ")
+                .join("  ");
+            line.trim_end().to_string()
         };
         out.push_str(&fmt_row(&self.headers, &widths));
         out.push('\n');
@@ -69,15 +109,16 @@ impl Table {
         out
     }
 
-    /// Render as a GitHub-flavoured markdown table (right-aligned
-    /// columns, matching [`Table::render`]'s numeric alignment).
+    /// Render as a GitHub-flavoured markdown table (columns follow the
+    /// same alignment [`Table::render`] uses: right by default, left
+    /// where [`Table::align_left`] was called).
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
         out.push_str("| ");
         out.push_str(&self.headers.join(" | "));
         out.push_str(" |\n|");
-        for _ in &self.headers {
-            out.push_str(" ---: |");
+        for &l in &self.left {
+            out.push_str(if l { " :--- |" } else { " ---: |" });
         }
         out.push('\n');
         for row in &self.rows {
@@ -183,6 +224,28 @@ mod tests {
     #[should_panic(expected = "row width mismatch")]
     fn wrong_width_panics() {
         Table::new(["a", "b"]).row(["only-one"]);
+    }
+
+    #[test]
+    fn left_aligned_columns_pad_on_the_right() {
+        let mut t = Table::new(["span", "ns"]);
+        t.align_left(0);
+        t.row(["tick", "12"]);
+        t.row(["a-longer-name", "3"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[2].starts_with("tick "), "{s}");
+        assert!(!lines[2].ends_with(' '), "no trailing pad: {s:?}");
+        let md = t.to_markdown();
+        assert!(md.lines().nth(1).unwrap().contains(":---"), "{md}");
+    }
+
+    #[test]
+    fn fmt_ns_picks_sane_units() {
+        assert_eq!(fmt_ns(12), "12 ns");
+        assert_eq!(fmt_ns(1_500), "1.500 us");
+        assert_eq!(fmt_ns(2_000_000), "2.000 ms");
+        assert_eq!(fmt_ns(3_210_000_000), "3.210 s");
     }
 
     #[test]

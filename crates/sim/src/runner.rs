@@ -204,6 +204,29 @@ pub fn run_shared_recorded(cfg: &SimConfig, mix: &Mix, rec: dbp_obs::Recorder) -
     sys.run()
 }
 
+/// [`run_shared`], with full instrumentation: telemetry into `rec`,
+/// host-side self-profiling spans/counters into `prof`. Both only
+/// observe — the simulated outcome is byte-identical to [`run_shared`].
+///
+/// Call [`dbp_obs::Prof::snapshot`] afterwards to read the profile; when
+/// this runs on a pool worker thread, call [`dbp_obs::Prof::flush_thread`]
+/// before the job returns (see the `Prof` docs for the contract).
+pub fn run_shared_instrumented(
+    cfg: &SimConfig,
+    mix: &Mix,
+    rec: dbp_obs::Recorder,
+    prof: dbp_obs::Prof,
+) -> RunResult {
+    let traces = (0..mix.cores()).map(|i| trace_for(mix, i)).collect();
+    let mut sys = System::with_instrumentation(cfg.clone(), traces, rec, prof);
+    sys.run()
+}
+
+/// [`run_shared`], self-profiled only (no telemetry recorder).
+pub fn run_shared_profiled(cfg: &SimConfig, mix: &Mix, prof: dbp_obs::Prof) -> RunResult {
+    run_shared_instrumented(cfg, mix, dbp_obs::Recorder::disabled(), prof)
+}
+
 /// [`run_shared`], with per-request latency anatomy switched on: returns
 /// the run result plus the measured [`dbp_obs::LatencyReport`]
 /// (histograms, breakdowns, and the interference matrices).
@@ -240,6 +263,20 @@ pub fn run_mix_with_alone(cfg: &SimConfig, mix: &Mix, alone_ipcs: Vec<f64>) -> M
 pub fn run_mix_recorded(cfg: &SimConfig, mix: &Mix, rec: dbp_obs::Recorder) -> MixRun {
     let alone_ipcs = alone_ipcs(cfg, mix);
     MixRun::from_parts(mix, alone_ipcs, run_shared_recorded(cfg, mix, rec))
+}
+
+/// [`run_mix`], with the *shared* run fully instrumented (telemetry into
+/// `rec`, self-profiling into `prof`). Alone runs are calibration, not
+/// the experiment, so they stay unrecorded and unprofiled — a profile of
+/// this call measures the shared run's host cost only.
+pub fn run_mix_instrumented(
+    cfg: &SimConfig,
+    mix: &Mix,
+    rec: dbp_obs::Recorder,
+    prof: dbp_obs::Prof,
+) -> MixRun {
+    let alone_ipcs = alone_ipcs(cfg, mix);
+    MixRun::from_parts(mix, alone_ipcs, run_shared_instrumented(cfg, mix, rec, prof))
 }
 
 #[cfg(test)]
@@ -346,6 +383,44 @@ mod tests {
             assert_eq!(a.ipc, b.ipc);
             assert_eq!(a.reads, b.reads);
         }
+    }
+
+    #[test]
+    fn profiled_run_is_observation_only_and_sums_exactly() {
+        let cfg = tiny_cfg();
+        let mix = &mixes_4core()[0];
+        let plain = run_shared(&cfg, mix);
+        let prof = dbp_obs::Prof::enabled();
+        let r = run_shared_profiled(&cfg, mix, prof.clone());
+        // Observation only: identical simulated outcome.
+        assert_eq!(plain.total_cycles, r.total_cycles);
+        for (a, b) in plain.threads.iter().zip(&r.threads) {
+            assert_eq!(a.ipc, b.ipc);
+            assert_eq!(a.reads, b.reads);
+        }
+        let p = prof.snapshot();
+        assert!(!p.is_empty());
+        let roots: Vec<&str> = p.spans.iter().map(|s| s.name.as_str()).collect();
+        for phase in ["sim/warmup", "sim/measure", "sim/collect"] {
+            assert!(roots.contains(&phase), "missing root span {phase}: {roots:?}");
+        }
+        // The cycle counter is the ground truth the spans observe: every
+        // step — warmup and measured — increments it exactly once.
+        let stepped = p
+            .counters
+            .iter()
+            .find(|(n, _)| n == "sim/cycles_stepped")
+            .map(|&(_, v)| v)
+            .expect("cycle counter present");
+        let measure = p.spans.iter().find(|s| s.name == "sim/measure").unwrap();
+        let cores_tick: u64 = measure
+            .children
+            .iter()
+            .filter(|c| c.name == "sim/cores_tick")
+            .map(|c| c.count)
+            .sum();
+        assert!(stepped >= cores_tick, "steps span warmup too");
+        assert!(cores_tick > 0, "measured window must step");
     }
 
     #[test]

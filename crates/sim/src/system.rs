@@ -8,7 +8,7 @@ use dbp_core::{ColorTopology, ThreadMemProfile};
 use dbp_cpu::{Core, MemIssue, TraceSource};
 use dbp_dram::DramStats;
 use dbp_memctrl::{Completion, MemRequest, MemoryController, ThreadProf};
-use dbp_obs::{EpochSample, EventKind, Recorder, RecorderConfig, ThreadSample};
+use dbp_obs::{EpochSample, EventKind, Prof, Recorder, RecorderConfig, ThreadSample};
 use dbp_osmem::{ColorSet, MemoryManager, MigrationJob, OsStats};
 
 use crate::config::{MigrationCost, SimConfig};
@@ -55,6 +55,11 @@ pub struct System {
     os_base: OsStats,
     sys_base: SysStats,
     rec: Recorder,
+    /// Host-side self-profiler (wall-clock spans + work counters); named
+    /// `host_prof` because `ctrl.prof()` is the *simulated* per-thread
+    /// DRAM profiler — the two measure different worlds.
+    host_prof: Prof,
+    ctr_cycles: dbp_obs::prof::Counter,
 }
 
 impl std::fmt::Debug for System {
@@ -97,6 +102,23 @@ impl System {
         traces: Vec<Box<dyn TraceSource>>,
         rec: Recorder,
     ) -> Self {
+        Self::with_instrumentation(cfg, traces, rec, Prof::disabled())
+    }
+
+    /// Build a system that emits telemetry into `rec` *and* host-side
+    /// self-profiling spans/counters into `prof` (see [`dbp_obs::Prof`]).
+    /// Profiling only observes wall time: the simulated outcome is
+    /// byte-identical with `prof` enabled or disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty or the configuration is invalid.
+    pub fn with_instrumentation(
+        cfg: SimConfig,
+        traces: Vec<Box<dyn TraceSource>>,
+        rec: Recorder,
+        prof: Prof,
+    ) -> Self {
         cfg.validate().expect("invalid SimConfig");
         assert!(!traces.is_empty(), "at least one trace required");
         let n = traces.len();
@@ -115,6 +137,8 @@ impl System {
         let dram = dbp_dram::Dram::new(cfg.dram.clone());
         let mut ctrl = MemoryController::new(dram, cfg.ctrl, cfg.scheduler.build(n), n);
         ctrl.attach_recorder(rec.clone());
+        ctrl.attach_profiler(&prof);
+        let ctr_cycles = prof.counter("sim/cycles_stepped");
         System {
             cores: traces.into_iter().map(|t| Core::new(cfg.core, t)).collect(),
             caches: (0..n).map(|_| Hierarchy::new(cfg.hierarchy)).collect(),
@@ -141,6 +165,8 @@ impl System {
             topo,
             cfg,
             rec,
+            host_prof: prof,
+            ctr_cycles,
         }
     }
 
@@ -148,6 +174,12 @@ impl System {
     /// built via [`System::with_recorder`] or `DBP_TRACE_PLAN`).
     pub fn recorder(&self) -> &Recorder {
         &self.rec
+    }
+
+    /// The host-side self-profiler this system reports into (disabled
+    /// unless built via [`System::with_instrumentation`]).
+    pub fn profiler(&self) -> &Prof {
+        &self.host_prof
     }
 
     /// Number of cores.
@@ -184,6 +216,7 @@ impl System {
     /// instruction target (or the cycle cap) and return the result.
     pub fn run(&mut self) -> RunResult {
         if self.cfg.warmup_instructions > 0 {
+            let _phase = self.host_prof.span("sim/warmup");
             let warm = self.cfg.warmup_instructions;
             // Warmup must also span several repartition epochs (plus one
             // cycle, so no epoch boundary coincides with measurement
@@ -199,11 +232,15 @@ impl System {
             }
             self.begin_measurement();
         }
-        while self.cycle < self.cfg.max_cpu_cycles
-            && self.finish_cycle.iter().any(Option::is_none)
         {
-            self.step();
+            let _phase = self.host_prof.span("sim/measure");
+            while self.cycle < self.cfg.max_cpu_cycles
+                && self.finish_cycle.iter().any(Option::is_none)
+            {
+                self.step();
+            }
         }
+        let _phase = self.host_prof.span("sim/collect");
         self.collect()
     }
 
@@ -231,18 +268,40 @@ impl System {
     }
 
     /// Advance exactly one CPU cycle (exposed for tests and tooling).
+    ///
+    /// Dispatches once on whether the host profiler is live: the
+    /// `PROF = false` monomorphisation contains no span or counter code
+    /// at all, so a disabled profiler costs one predictable branch per
+    /// cycle here (plus one per controller tick) — not a guard pair per
+    /// phase.
     pub fn step(&mut self) {
+        if self.host_prof.is_enabled() {
+            self.step_impl::<true>();
+        } else {
+            self.step_impl::<false>();
+        }
+    }
+
+    fn step_impl<const PROF: bool>(&mut self) {
         let cycle = self.cycle;
         self.rec.set_cycle(cycle);
+        if PROF {
+            self.ctr_cycles.incr();
+        }
         if cycle.is_multiple_of(self.cfg.cpu_per_dram) {
+            let _s = PROF.then(|| self.host_prof.span("sim/dram_tick"));
             self.dram_tick(cycle / self.cfg.cpu_per_dram);
         }
         if cycle > 0 && cycle.is_multiple_of(self.cfg.epoch_cpu_cycles) {
+            let _s = PROF.then(|| self.host_prof.span("sim/policy_epoch"));
             self.repartition();
         } else if cycle > 0 && cycle.is_multiple_of(self.cfg.instr_feed_interval) {
+            let _s = PROF.then(|| self.host_prof.span("sim/feed_instructions"));
             self.feed_instructions();
         }
+        let _s = PROF.then(|| self.host_prof.span("sim/cores_tick"));
         self.tick_cores(cycle);
+        drop(_s);
         for i in 0..self.cores.len() {
             if self.finish_cycle[i].is_none()
                 && self.cores[i].retired() - self.base_retired[i]
@@ -256,20 +315,26 @@ impl System {
 
     fn dram_tick(&mut self, dram_now: u64) {
         // Feed backlog copy traffic gently (up to 4 requests per cycle).
-        for _ in 0..4 {
-            let Some(&(thread, addr, is_write)) = self.migration_backlog.front() else {
-                break;
-            };
-            let ch = self.ctrl.channel_of(addr);
-            if !self.ctrl.can_accept(ch, is_write) {
-                break;
+        // The span opens only when there is a backlog: most DRAM ticks
+        // have none, and an always-on child would drown the signal (and
+        // cost two clock reads per tick) for an empty loop.
+        if !self.migration_backlog.is_empty() {
+            let _s = self.host_prof.span("sim/migration_feed");
+            for _ in 0..4 {
+                let Some(&(thread, addr, is_write)) = self.migration_backlog.front() else {
+                    break;
+                };
+                let ch = self.ctrl.channel_of(addr);
+                if !self.ctrl.can_accept(ch, is_write) {
+                    break;
+                }
+                self.migration_backlog.pop_front();
+                let id = self.next_req_id;
+                self.next_req_id += 1;
+                self.ctrl
+                    .enqueue(MemRequest::migration(id, thread, addr, is_write, dram_now));
+                self.stats.migration_requests += 1;
             }
-            self.migration_backlog.pop_front();
-            let id = self.next_req_id;
-            self.next_req_id += 1;
-            self.ctrl
-                .enqueue(MemRequest::migration(id, thread, addr, is_write, dram_now));
-            self.stats.migration_requests += 1;
         }
         let mut buf = std::mem::take(&mut self.completions);
         buf.clear();

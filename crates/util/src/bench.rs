@@ -58,18 +58,10 @@ impl Summary {
 
 /// Human-readable wall time: picks ns/us/ms/s to keep 3-4 significant
 /// digits. Shared by the micro-bench report and the experiment-suite
-/// timing summary.
-pub fn fmt_ns(ns: u128) -> String {
-    if ns >= 1_000_000_000 {
-        format!("{:.3} s", ns as f64 / 1e9)
-    } else if ns >= 1_000_000 {
-        format!("{:.3} ms", ns as f64 / 1e6)
-    } else if ns >= 1_000 {
-        format!("{:.3} us", ns as f64 / 1e3)
-    } else {
-        format!("{ns} ns")
-    }
-}
+/// timing summary. (The implementation lives in `dbp_obs::table` so the
+/// profiler tables can use it too; re-exported here for callers that
+/// predate the move.)
+pub use dbp_obs::table::fmt_ns;
 
 /// A wall-clock stopwatch for coarse phase timing (suite experiments,
 /// whole-run totals) — start it, do the work, read `elapsed_ns`.
@@ -164,26 +156,22 @@ impl Runner {
 
     /// Render the report table.
     pub fn report(&self) -> String {
-        let mut out = String::new();
-        out.push_str(&format!(
-            "{:<36} {:>12} {:>12} {:>12} {:>14}\n",
-            "benchmark", "min", "median", "p95", "throughput"
-        ));
+        let mut t = dbp_obs::Table::new(["benchmark", "min", "median", "p95", "throughput"]);
+        t.align_left(0);
         for s in &self.results {
             let tp = s
                 .melems_per_sec()
                 .map(|m| format!("{m:.2} Melem/s"))
                 .unwrap_or_else(|| "-".to_owned());
-            out.push_str(&format!(
-                "{:<36} {:>12} {:>12} {:>12} {:>14}\n",
-                s.name,
+            t.row([
+                s.name.clone(),
                 fmt_ns(s.min_ns),
                 fmt_ns(s.median_ns),
                 fmt_ns(s.p95_ns),
-                tp
-            ));
+                tp,
+            ]);
         }
-        out
+        t.render()
     }
 
     /// The summaries as a JSON document (one object per benchmark).
@@ -207,15 +195,29 @@ impl Runner {
         )])
     }
 
+    /// Write [`Runner::json_report`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.json_report().to_json())
+    }
+
     /// Print the report to stdout; when `DBP_BENCH_JSON` names a file,
-    /// also write [`Runner::json_report`] there.
+    /// also write [`Runner::json_report`] there. A failed write is a
+    /// hard error (`exit(1)`): CI must never mistake a bench run whose
+    /// artifact silently vanished for a successful one.
     pub fn finish(&self) {
         print!("{}", self.report());
         if let Ok(path) = std::env::var("DBP_BENCH_JSON") {
             if !path.trim().is_empty() {
-                match std::fs::write(&path, self.json_report().to_json()) {
+                match self.write_json(&path) {
                     Ok(()) => eprintln!("bench: wrote JSON summaries to {path}"),
-                    Err(e) => eprintln!("bench: cannot write {path}: {e}"),
+                    Err(e) => {
+                        eprintln!("bench: cannot write {path}: {e}");
+                        std::process::exit(1);
+                    }
                 }
             }
         }
@@ -256,6 +258,13 @@ mod tests {
     #[test]
     fn env_override_parses() {
         assert_eq!(env_u32("DBP_BENCH_NO_SUCH_VAR", 17), 17);
+    }
+
+    #[test]
+    fn write_json_surfaces_io_errors() {
+        let mut r = Runner::new(BenchConfig { warmup_iters: 0, iters: 1 });
+        r.bench("spin", 1, || ());
+        assert!(r.write_json("/nonexistent-dir-for-sure/bench.json").is_err());
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use std::process::ExitCode;
 
 use dbp_repro::dbp::policy::PolicyKind;
-use dbp_repro::obs::{export, Json, Recorder, RecorderConfig};
+use dbp_repro::obs::{export, Json, Prof, Recorder, RecorderConfig};
 use dbp_repro::sim::report::{f3, run_result_json, Table};
 use dbp_repro::sim::{runner, SchedulerKind, SimConfig};
 use dbp_repro::workloads::{mixes_4core, profiles, Mix};
@@ -52,6 +52,9 @@ TELEMETRY (run only):
                              per-core/per-bank histograms, component
                              breakdowns, and the core-by-core interference
                              matrices (render with `dbpreport <file>`)
+    --profile-out <file>     Self-profile the shared run (host wall-clock
+                             spans + work counters) and write the profile
+                             JSON (render with `dbpprof <file>`)
 ";
 
 fn parse_policy(s: &str) -> Result<PolicyKind, String> {
@@ -94,6 +97,7 @@ struct Options {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     latency_out: Option<String>,
+    profile_out: Option<String>,
 }
 
 impl Default for Options {
@@ -112,6 +116,7 @@ impl Default for Options {
             trace_out: None,
             metrics_out: None,
             latency_out: None,
+            profile_out: None,
         }
     }
 }
@@ -159,6 +164,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
             "--latency-out" => opts.latency_out = Some(value("--latency-out")?),
+            "--profile-out" => opts.profile_out = Some(value("--profile-out")?),
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -262,13 +268,32 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     } else {
         Recorder::disabled()
     };
-    let run = if telemetry_wanted {
-        runner::run_mix_recorded(&cfg, &mix, rec.clone())
+    let prof = if opts.profile_out.is_some() { Prof::enabled() } else { Prof::disabled() };
+    let run = if telemetry_wanted || prof.is_enabled() {
+        runner::run_mix_instrumented(&cfg, &mix, rec.clone(), prof.clone())
     } else {
         runner::run_mix(&cfg, &mix)
     };
     if telemetry_wanted {
         write_telemetry(opts, &cfg, &mix, &run, &rec)?;
+    }
+    if let Some(path) = &opts.profile_out {
+        let profile = prof.snapshot();
+        let summary = Json::obj([
+            ("source", Json::str("dbpsim run")),
+            ("mix", Json::str(mix.name)),
+            ("policy", Json::str(cfg.policy.label())),
+            ("scheduler", Json::str(cfg.scheduler.label())),
+        ]);
+        let doc = export::profile_document(&profile, summary);
+        std::fs::write(path, doc.to_json())
+            .map_err(|e| format!("--profile-out {path}: {e}"))?;
+        eprintln!(
+            "wrote self-profile ({} root span(s), {} counter(s)) to {path} \
+             (render with `dbpprof {path}`)",
+            profile.spans.len(),
+            profile.counters.len()
+        );
     }
     let t = result_table(&mix, &run);
     if opts.csv {

@@ -83,6 +83,59 @@ fn tracing_does_not_perturb_the_simulation() {
     assert!(!t.series.is_empty(), "the recorder must have sampled epoch metrics");
 }
 
+/// Self-profiling must observe, never perturb: a run with an enabled
+/// host profiler is byte-identical to the same run without one, and the
+/// profile it produces survives a JSON round-trip (exact-sum included)
+/// while a future-major document is rejected. This is the contract that
+/// lets `--profile-out` ride along on real experiments.
+#[test]
+fn profiling_does_not_perturb_the_simulation() {
+    use dbp_repro::obs::{export, Prof, Profile};
+
+    let mut cfg = SimConfig::fast_test();
+    cfg.warmup_instructions = 20_000;
+    cfg.target_instructions = 50_000;
+    cfg.policy = PolicyKind::Dbp(Default::default());
+    let mix = &mixes_4core()[5];
+
+    let silent = runner::run_shared(&cfg, mix);
+    let prof = Prof::enabled();
+    let profiled = runner::run_shared_profiled(&cfg, mix, prof.clone());
+    assert_eq!(silent, profiled, "an enabled profiler must not change the run");
+    assert_eq!(
+        format!("{silent:#?}").into_bytes(),
+        format!("{profiled:#?}").into_bytes(),
+        "rendered reports must match byte for byte"
+    );
+
+    // The profile itself: non-empty, exact-sum (asserted inside
+    // snapshot), and stable through the export document.
+    let profile = prof.snapshot();
+    assert!(!profile.is_empty(), "the profiler must actually have observed spans");
+    let doc = export::profile_document(
+        &profile,
+        dbp_repro::obs::Json::obj([("mix", dbp_repro::obs::Json::str(mix.name))]),
+    );
+    let text = doc.to_json();
+    let parsed = dbp_repro::obs::json::parse(&text).expect("profile document must be valid JSON");
+    export::check_schema_version(&parsed).expect("own schema version must be accepted");
+    let back = Profile::from_json(&parsed).expect("profile must round-trip");
+    assert_eq!(profile, back, "span tree and counters must survive the round-trip");
+
+    // A document stamped with a future major schema must be rejected.
+    let future = text.replacen(
+        &format!("\"schema_version\":\"{}\"", export::SCHEMA_VERSION),
+        "\"schema_version\":\"99.0\"",
+        1,
+    );
+    assert_ne!(future, text, "replacement must have found the version stamp");
+    let parsed = dbp_repro::obs::json::parse(&future).unwrap();
+    assert!(
+        export::check_schema_version(&parsed).is_err(),
+        "a future-major document must be rejected, not misread"
+    );
+}
+
 /// The in-tree xoshiro256++ PRNG must actually respond to its seed: the
 /// same (profile, seed) pair replays an identical op stream, while a
 /// different seed diverges.
