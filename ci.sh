@@ -13,16 +13,21 @@ cargo test -q --offline --locked --workspace
 cargo clippy --offline --locked --workspace -- -D warnings
 cargo check --benches --offline --locked --workspace
 # Benches run with the package dir as cwd, so hand them an absolute path.
-DBP_BENCH_ITERS=2 DBP_BENCH_WARMUP=0 DBP_BENCH_JSON="$(pwd)/BENCH_results.json" \
+# One warmup + five timed iterations: enough for a meaningful per-bench
+# *floor* (the statistic the perf gate compares), still cheap.
+DBP_BENCH_ITERS=5 DBP_BENCH_WARMUP=1 DBP_BENCH_JSON="$(pwd)/BENCH_results.json" \
     cargo bench -q --offline --locked -p dbp-bench --bench micro
 ./target/release/jsonlint --require-key benchmarks BENCH_results.json
 
-# Perf-regression gate (soft by default): compare the fresh micro-bench
-# medians against the committed baseline and publish the verdict as
-# PERF_summary.json. Advisory here — CI iteration counts are tiny and
-# noisy — but a regressed/missing benchmark prints loudly; set
-# DBP_PERF_GATE=1 in the environment to make it fatal.
-./target/release/bench_all --perf-only \
+# Perf-regression gate: compare the fresh micro-bench *floors* (min_ns
+# — preemption only ever slows an iteration, so the floor is what a
+# structural slowdown must move) against the committed baseline and
+# publish the verdict as PERF_summary.json. Fatal — a regressed or
+# missing benchmark fails CI. The tolerance is widened from the ±35%
+# default because CI runs few iterations on shared runners: the gate
+# exists to catch structural slowdowns (an accidental O(n²), a dropped
+# memo), not scheduling jitter.
+DBP_PERF_GATE=1 DBP_PERF_TOLERANCE=0.6 ./target/release/bench_all --perf-only \
     --baseline BENCH_baseline.json --bench-results BENCH_results.json \
     --perf-out "$(pwd)/PERF_summary.json"
 ./target/release/jsonlint --require-key benchmarks --require-key gate_passed PERF_summary.json
@@ -50,6 +55,14 @@ DBP_QUICK=1 DBP_JOBS=2 ./target/release/bench_all \
     --profile-out "$(pwd)/PROF_suite.json" \
     > target/ci-suite-parallel.txt
 diff target/ci-suite-serial.txt target/ci-suite-parallel.txt
+# Time-skip equivalence gate: the same quick suite driven by the
+# always-stepped core (DBP_NO_SKIP=1 pins every System to per-cycle
+# ticking) must print byte-identical tables. Together with the
+# byte-identity property tests this proves the event-driven skipping
+# path changes nothing observable end to end.
+DBP_QUICK=1 DBP_JOBS=2 DBP_NO_SKIP=1 ./target/release/bench_all \
+    > target/ci-suite-stepped.txt 2> /dev/null
+diff target/ci-suite-serial.txt target/ci-suite-stepped.txt
 ./target/release/jsonlint --require-key experiments --require-key total_wall_ns SUITE_timing.json
 ./target/release/jsonlint --require-key spans --require-key counters PROF_suite.json
 ./target/release/dbpprof PROF_suite.json > /dev/null

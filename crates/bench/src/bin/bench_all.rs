@@ -125,7 +125,7 @@ fn write_or_die(what: &str, path: &str, doc: &Json) {
     }
 }
 
-fn load_medians(what: &str, path: &str) -> Vec<(String, u64)> {
+fn load_floors(what: &str, path: &str) -> Vec<(String, u64)> {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("bench_all: cannot read {what} {path}: {e}");
         std::process::exit(1);
@@ -134,7 +134,7 @@ fn load_medians(what: &str, path: &str) -> Vec<(String, u64)> {
         eprintln!("bench_all: {what} {path} is not valid JSON: {e}");
         std::process::exit(1);
     });
-    perf::parse_medians(&doc).unwrap_or_else(|e| {
+    perf::parse_floors(&doc).unwrap_or_else(|e| {
         eprintln!("bench_all: {what} {path}: {e}");
         std::process::exit(1);
     })
@@ -230,8 +230,8 @@ fn run_suite(opts: &Opts) {
 fn run_perf_compare(opts: &Opts) -> bool {
     let Some(baseline_path) = &opts.baseline else { return false };
     let results_path = opts.bench_results.as_deref().expect("checked in parse_opts");
-    let baseline = load_medians("baseline", baseline_path);
-    let current = load_medians("bench results", results_path);
+    let baseline = load_floors("baseline", baseline_path);
+    let current = load_floors("bench results", results_path);
     let rows = perf::compare(&baseline, &current, opts.tolerance);
     eprintln!(
         "bench_all: perf comparison vs {baseline_path} (tolerance ±{:.0}%)",

@@ -151,13 +151,19 @@ fn bench_end_to_end(r: &mut Runner) {
     // below, the measured cost of an *enabled* profiler. (A disabled one
     // costs a branch per span site; the perf gate on this entry is what
     // holds that claim to <2% across PRs.)
+    //
+    // `advance` (event-driven time skipping) is the production path every
+    // experiment takes through `System::run`; the elements count stays
+    // "simulated CPU cycles", so melems/s is simulated Mcycles per
+    // wall-second and is directly comparable with the retired stepped-era
+    // baselines.
     r.bench_batched(
         "system/step_100k_cycles_4core",
-        100_000, // CPU cycles stepped
+        100_000, // simulated CPU cycles
         || step_system(Prof::disabled()),
         |mut sys| {
-            for _ in 0..100_000 {
-                sys.step();
+            while sys.cycle() < 100_000 {
+                sys.advance(100_000);
             }
             sys
         },
@@ -167,8 +173,8 @@ fn bench_end_to_end(r: &mut Runner) {
         100_000,
         || step_system(Prof::enabled()),
         |mut sys| {
-            for _ in 0..100_000 {
-                sys.step();
+            while sys.cycle() < 100_000 {
+                sys.advance(100_000);
             }
             sys
         },

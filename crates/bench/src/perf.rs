@@ -1,11 +1,16 @@
-//! Perf-regression comparison: current micro-bench medians against a
+//! Perf-regression comparison: current micro-bench floors against a
 //! committed baseline (`BENCH_baseline.json`).
 //!
-//! Micro-bench medians on shared CI runners are noisy, so the comparison
-//! uses a *relative tolerance* (default ±35%, `DBP_PERF_TOLERANCE`
-//! overrides): a benchmark only counts as regressed when its median
-//! exceeds `baseline * (1 + tolerance)`. The gate is advisory by default
-//! (`bench_all` warns and exits 0) and enforcing under `DBP_PERF_GATE=1`.
+//! The compared statistic is each benchmark's **minimum** (`min_ns`),
+//! not its median: on shared CI runners preemption and cold caches can
+//! only make iterations *slower*, so the floor is the statistic a
+//! structural slowdown (an accidental O(n²), a dropped memo) must move,
+//! while medians of tiny CI iteration counts mostly measure the host.
+//! On top of that the comparison uses a *relative tolerance* (default
+//! ±35%, `DBP_PERF_TOLERANCE` overrides): a benchmark only counts as
+//! regressed when its floor exceeds `baseline * (1 + tolerance)`. The
+//! gate is advisory by default (`bench_all` warns and exits 0) and
+//! enforcing under `DBP_PERF_GATE=1`.
 //!
 //! Statuses:
 //!
@@ -19,7 +24,7 @@
 
 use dbp_obs::{Json, Table};
 
-/// Default relative noise tolerance for median comparisons.
+/// Default relative noise tolerance for floor comparisons.
 pub const DEFAULT_TOLERANCE: f64 = 0.35;
 
 /// `DBP_PERF_TOLERANCE` if set to a non-negative number, else the default.
@@ -70,14 +75,14 @@ pub struct PerfRow {
     pub status: PerfStatus,
 }
 
-/// Extract `(name, median_ns)` pairs from a bench-results document (the
+/// Extract `(name, min_ns)` pairs from a bench-results document (the
 /// format [`dbp_util::bench::Runner::json_report`] writes).
 ///
 /// # Errors
 ///
 /// Returns a message when the document lacks a `benchmarks` array or an
-/// entry lacks a string `name` / numeric `median_ns`.
-pub fn parse_medians(doc: &Json) -> Result<Vec<(String, u64)>, String> {
+/// entry lacks a string `name` / numeric `min_ns`.
+pub fn parse_floors(doc: &Json) -> Result<Vec<(String, u64)>, String> {
     let benches = doc
         .get("benchmarks")
         .and_then(Json::as_arr)
@@ -90,16 +95,16 @@ pub fn parse_medians(doc: &Json) -> Result<Vec<(String, u64)>, String> {
                 .get("name")
                 .and_then(Json::as_str)
                 .ok_or_else(|| format!("benchmarks[{i}] has no string `name`"))?;
-            let median = b
-                .get("median_ns")
+            let floor = b
+                .get("min_ns")
                 .and_then(Json::as_num)
-                .ok_or_else(|| format!("benchmarks[{i}] ({name}) has no numeric `median_ns`"))?;
-            Ok((name.to_owned(), median as u64))
+                .ok_or_else(|| format!("benchmarks[{i}] ({name}) has no numeric `min_ns`"))?;
+            Ok((name.to_owned(), floor as u64))
         })
         .collect()
 }
 
-/// Compare current medians against a baseline with a relative
+/// Compare current floors against a baseline with a relative
 /// `tolerance`. Rows come out in baseline order, then current-only
 /// (`new`) entries in current order — so the delta table is stable
 /// against reordering on either side.
@@ -224,7 +229,7 @@ mod tests {
     }
 
     #[test]
-    fn identical_medians_pass_within_tolerance() {
+    fn identical_floors_pass_within_tolerance() {
         let base = set(&[("a", 100), ("b", 2_000)]);
         let rows = compare(&base, &base, DEFAULT_TOLERANCE);
         assert!(rows.iter().all(|r| r.status == PerfStatus::Ok));
@@ -278,17 +283,17 @@ mod tests {
     }
 
     #[test]
-    fn parse_medians_round_trips_runner_json() {
+    fn parse_floors_round_trips_runner_json() {
         let mut r = dbp_util::bench::Runner::new(dbp_util::bench::BenchConfig {
             warmup_iters: 0,
             iters: 1,
         });
         r.bench("spin", 8, || std::hint::black_box(1u64 + 1));
         let doc = dbp_obs::json::parse(&r.json_report().to_json()).unwrap();
-        let meds = parse_medians(&doc).unwrap();
-        assert_eq!(meds.len(), 1);
-        assert_eq!(meds[0].0, "spin");
-        assert!(parse_medians(&Json::obj([("nope", Json::uint(1))])).is_err());
+        let floors = parse_floors(&doc).unwrap();
+        assert_eq!(floors.len(), 1);
+        assert_eq!(floors[0].0, "spin");
+        assert!(parse_floors(&Json::obj([("nope", Json::uint(1))])).is_err());
     }
 
     #[test]

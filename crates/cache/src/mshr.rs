@@ -1,7 +1,7 @@
 //! Miss-status holding registers: track outstanding misses and merge
 //! secondary misses to the same line.
 
-use std::collections::HashMap;
+use dbp_obs::FxHashMap;
 
 /// Result of trying to allocate an MSHR for a missing line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,7 +21,7 @@ pub enum MshrAlloc {
 /// accesses are waiting on the fill.
 #[derive(Debug, Clone)]
 pub struct Mshr {
-    entries: HashMap<u64, u32>,
+    entries: FxHashMap<u64, u32>,
     capacity: usize,
     peak: usize,
 }
@@ -34,7 +34,9 @@ impl Mshr {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR capacity must be positive");
-        Mshr { entries: HashMap::with_capacity(capacity), capacity, peak: 0 }
+        let mut entries = FxHashMap::default();
+        entries.reserve(capacity);
+        Mshr { entries, capacity, peak: 0 }
     }
 
     /// Try to record a miss on `line_addr`.

@@ -32,6 +32,32 @@ pub enum MemIssue {
     Retry,
 }
 
+/// What the next [`Core::tick`] would do, assuming no completion arrives
+/// and no timer fires first: either it can make progress on its own
+/// (`Active`), or it is provably stuck until an external event
+/// (`Blocked`), reported with the events that could unstick it. Drives
+/// the time-skipping core: a `Blocked` core's ticks are no-ops except
+/// for stall counters, which [`Core::skip_cycles`] advances in bulk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdleState {
+    /// The next tick makes progress without external input.
+    Active,
+    /// Nothing happens until a timer fires, a DRAM completion arrives,
+    /// or a repeated memory poll stops returning [`MemIssue::Retry`].
+    Blocked {
+        /// Lower bound on the earliest `done_at` timer among in-flight
+        /// loads, if any: the core must tick at (or before) that cycle.
+        /// May be stale-early after a DRAM completion cleared the timer
+        /// it tracked — waking early is a no-op tick, never an error.
+        timer: Option<u64>,
+        /// The memory poll `(vaddr, is_write)` the next tick would
+        /// repeat. The caller must prove it keeps returning `Retry`
+        /// throughout a skipped window. `None` when the window is full
+        /// (the tick polls nothing).
+        mem_poll: Option<(u64, bool)>,
+    },
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Load {
     seq: u64,
@@ -63,6 +89,11 @@ pub struct Core {
     stream_pos: u64,
     pending: Option<PendingOp>,
     inflight: VecDeque<Load>,
+    /// Earliest armed `done_at` among `inflight` (`u64::MAX` when none):
+    /// lets `tick` skip the timer sweep until one can actually fire. May
+    /// go stale-early when `complete` clears a timer — the sweep then
+    /// simply finds nothing and re-derives the true minimum.
+    next_timer: u64,
     next_load_id: u64,
     stats: CoreStats,
 }
@@ -90,6 +121,7 @@ impl Core {
             stream_pos: 0,
             pending: None,
             inflight: VecDeque::new(),
+            next_timer: u64::MAX,
             next_load_id: 0,
             stats: CoreStats::default(),
         }
@@ -98,6 +130,13 @@ impl Core {
     /// Instructions retired so far.
     pub fn retired(&self) -> u64 {
         self.retired
+    }
+
+    /// Upper bound on instructions retired in one tick (the pipeline
+    /// width). Time-skipping uses it to fence a forwarded compute window
+    /// off any retired-instruction threshold observed by the run loop.
+    pub fn max_retire_per_cycle(&self) -> u64 {
+        u64::from(self.cfg.width)
     }
 
     /// Statistics snapshot.
@@ -123,18 +162,118 @@ impl Core {
         debug_assert!(false, "completion for unknown load {load_id}");
     }
 
+    /// Classify what the next tick would do (pure; mirrors the control
+    /// flow of [`Core::tick`] without running it).
+    pub fn idle_state(&self) -> IdleState {
+        if self.dispatched > self.retired {
+            match self.inflight.front() {
+                Some(front) if front.seq == self.retired => {
+                    if front.done {
+                        // Width-limited leftover: it retires next tick.
+                        return IdleState::Active;
+                    }
+                    // Head-of-window load outstanding: retire is blocked.
+                }
+                // A compute gap (or no load at all) retires next tick.
+                _ => return IdleState::Active,
+            }
+        }
+        // `next_timer` is a maintained lower bound on the sweep's answer
+        // (exact unless a completion cleared the tracked timer), so the
+        // O(inflight) sweep is avoided on this per-skip-attempt path.
+        let timer = (self.next_timer != u64::MAX).then_some(self.next_timer);
+        if self.dispatched - self.retired >= self.cfg.rob {
+            return IdleState::Blocked { timer, mem_poll: None };
+        }
+        match self.pending {
+            // Next tick fetches from the trace (mutates the source).
+            None => IdleState::Active,
+            // Compute instructions before the memory op dispatch freely.
+            Some(p) if self.dispatched < p.seq => IdleState::Active,
+            Some(p) => IdleState::Blocked { timer, mem_poll: Some((p.addr, p.is_write)) },
+        }
+    }
+
+    /// Bulk-equivalent of `k` consecutive ticks taken in a
+    /// [`IdleState::Blocked`] state whose poll (if any) kept returning
+    /// [`MemIssue::Retry`], with no timer firing and no completion
+    /// arriving inside the window: exactly the stall counters `k`
+    /// stepped ticks would have advanced, and nothing else.
+    pub fn skip_cycles(&mut self, k: u64) {
+        if k == 0 {
+            return;
+        }
+        debug_assert!(matches!(self.idle_state(), IdleState::Blocked { .. }));
+        self.stats.cycles += k;
+        if self.dispatched > self.retired {
+            // retire() finds the head-of-window load outstanding.
+            self.stats.retire_stall_cycles += k;
+        }
+        if self.dispatched - self.retired >= self.cfg.rob {
+            self.stats.window_full_cycles += k;
+        } else {
+            self.stats.mem_retry_cycles += k;
+        }
+    }
+
+    /// Number of upcoming ticks guaranteed not to reach a memory
+    /// dispatch, assuming no external completion arrives in between (the
+    /// caller must ensure none does). Zero means the very next tick might
+    /// call `mem`.
+    ///
+    /// Fetches the next trace op into the one-op lookahead slot when it
+    /// is empty (and the window has room, mirroring `dispatch`): the op
+    /// is consumed in the same order either way, so core behaviour is
+    /// unchanged — only the cycle at which the fetch happens moves, and
+    /// that cycle is not observable outside the core.
+    pub fn compute_horizon(&mut self) -> u64 {
+        if self.pending.is_none() && self.dispatched - self.retired < self.cfg.rob {
+            let TraceOp { gap, addr, is_write } = self.source.next_op();
+            let seq = self.stream_pos + u64::from(gap);
+            self.stream_pos = seq + 1;
+            self.pending = Some(PendingOp { seq, addr, is_write });
+        }
+        match self.pending {
+            None => 0,
+            // Dispatch advances at most `width` per tick, so the memory
+            // op at `p.seq` stays out of reach for this many ticks even
+            // if every one of them dispatches at full width.
+            Some(p) => (p.seq - self.dispatched) / u64::from(self.cfg.width),
+        }
+    }
+
+    /// Run `ticks` consecutive ordinary ticks starting at cycle `start`,
+    /// none of which may reach a memory dispatch. Callers bound `ticks`
+    /// by [`Core::compute_horizon`]; a tick that would dispatch the
+    /// pending memory op panics, because the caller broke that contract.
+    pub fn forward(&mut self, start: u64, ticks: u64) {
+        let mut nomem = |_: u64, _: bool, _: u64| -> MemIssue {
+            unreachable!("forward() tick reached a memory dispatch")
+        };
+        for j in 0..ticks {
+            self.tick(start + j, &mut nomem);
+        }
+    }
+
     /// Advance one CPU cycle. `mem` is called for each dispatched memory
     /// access as `mem(vaddr, is_write, load_id)`.
     pub fn tick(&mut self, now: u64, mem: &mut dyn FnMut(u64, bool, u64) -> MemIssue) {
         self.stats.cycles += 1;
-        // 1. Timer-based completions (cache hits with latency).
-        for l in &mut self.inflight {
-            if let Some(at) = l.done_at {
-                if at <= now {
-                    l.done = true;
-                    l.done_at = None;
+        // 1. Timer-based completions (cache hits with latency). The sweep
+        // only runs when the earliest armed timer can fire.
+        if self.next_timer <= now {
+            let mut next = u64::MAX;
+            for l in &mut self.inflight {
+                if let Some(at) = l.done_at {
+                    if at <= now {
+                        l.done = true;
+                        l.done_at = None;
+                    } else {
+                        next = next.min(at);
+                    }
                 }
             }
+            self.next_timer = next;
         }
         self.retire();
         self.dispatch(now, mem);
@@ -210,10 +349,12 @@ impl Core {
                     } else {
                         self.stats.loads += 1;
                         self.next_load_id += 1;
+                        let at = now + u64::from(latency);
+                        self.next_timer = self.next_timer.min(at);
                         self.inflight.push_back(Load {
                             seq: p.seq,
                             id,
-                            done_at: Some(now + u64::from(latency)),
+                            done_at: Some(at),
                             done: latency == 0,
                         });
                     }
@@ -350,6 +491,95 @@ mod tests {
         }
         assert_eq!(c.stats().loads, 0);
         assert!(c.stats().mem_retry_cycles > 0);
+    }
+
+    #[test]
+    fn idle_state_reports_progress_and_blockage() {
+        // Retry-blocked on a load: Blocked with the poll exposed.
+        let src = ReplaySource::new(vec![TraceOp { gap: 0, addr: 64, is_write: false }]);
+        let mut c = Core::new(CoreConfig { rob: 8, width: 2 }, Box::new(src));
+        assert_eq!(c.idle_state(), IdleState::Active, "fresh core fetches");
+        let mut mem = |_a: u64, _w: bool, _id: u64| MemIssue::Retry;
+        c.tick(0, &mut mem);
+        assert_eq!(
+            c.idle_state(),
+            IdleState::Blocked { timer: None, mem_poll: Some((64, false)) }
+        );
+
+        // Window full of pending loads: Blocked with no poll.
+        let src = ReplaySource::new(vec![TraceOp { gap: 0, addr: 64, is_write: false }]);
+        let mut c = Core::new(CoreConfig { rob: 4, width: 4 }, Box::new(src));
+        let mut mem = |_a: u64, _w: bool, _id: u64| MemIssue::Pending;
+        for now in 0..4 {
+            c.tick(now, &mut mem);
+        }
+        assert_eq!(c.idle_state(), IdleState::Blocked { timer: None, mem_poll: None });
+
+        // A done_at timer shows up as the wake point.
+        let src = ReplaySource::new(vec![TraceOp { gap: 0, addr: 64, is_write: false }]);
+        let mut c = Core::new(CoreConfig { rob: 1, width: 1 }, Box::new(src));
+        let mut mem = |_a: u64, _w: bool, _id: u64| MemIssue::Done { latency: 50 };
+        c.tick(0, &mut mem);
+        assert_eq!(c.idle_state(), IdleState::Blocked { timer: Some(50), mem_poll: None });
+    }
+
+    #[test]
+    fn skip_cycles_matches_stepped_blocked_ticks() {
+        let build = |mode: usize| -> Core {
+            let src = ReplaySource::new(vec![TraceOp { gap: 0, addr: 64, is_write: false }]);
+            let rob = if mode == 0 { 8 } else { 4 };
+            let mut c = Core::new(CoreConfig { rob, width: 4 }, Box::new(src));
+            // mode 0: park on Retry; mode 1: fill the window with Pending.
+            let mut mem = |_a: u64, _w: bool, _id: u64| {
+                if mode == 0 { MemIssue::Retry } else { MemIssue::Pending }
+            };
+            for now in 0..4 {
+                c.tick(now, &mut mem);
+            }
+            assert!(matches!(c.idle_state(), IdleState::Blocked { .. }));
+            c
+        };
+        for mode in 0..2 {
+            let mut stepped = build(mode);
+            let mut skipped = build(mode);
+            let mut mem = |_a: u64, _w: bool, _id: u64| {
+                if mode == 0 { MemIssue::Retry } else { MemIssue::Pending }
+            };
+            for now in 4..104 {
+                stepped.tick(now, &mut mem);
+            }
+            skipped.skip_cycles(100);
+            assert_eq!(stepped.stats(), skipped.stats(), "mode {mode}");
+            assert_eq!(stepped.idle_state(), skipped.idle_state());
+        }
+    }
+
+    #[test]
+    fn forward_matches_stepped_compute() {
+        let mk = || {
+            let src =
+                ReplaySource::new(vec![TraceOp { gap: 37, addr: 64, is_write: false }]);
+            Core::new(CoreConfig { rob: 32, width: 4 }, Box::new(src))
+        };
+        let mut mem = |_: u64, _: bool, _: u64| MemIssue::Done { latency: 3 };
+        let mut stepped = mk();
+        for now in 0..400 {
+            stepped.tick(now, &mut mem);
+        }
+        let mut fast = mk();
+        let mut now = 0u64;
+        while now < 400 {
+            let h = fast.compute_horizon().min(400 - now);
+            if h == 0 {
+                fast.tick(now, &mut mem);
+                now += 1;
+            } else {
+                fast.forward(now, h);
+                now += h;
+            }
+        }
+        assert_eq!(stepped.stats(), fast.stats());
+        assert_eq!(stepped.retired(), fast.retired());
     }
 
     #[test]

@@ -20,6 +20,6 @@ pub mod core_model;
 pub mod stats;
 pub mod trace;
 
-pub use core_model::{Core, CoreConfig, MemIssue};
+pub use core_model::{Core, CoreConfig, IdleState, MemIssue};
 pub use stats::CoreStats;
 pub use trace::{ReplaySource, TraceOp, TraceSource};

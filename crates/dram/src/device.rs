@@ -237,6 +237,19 @@ impl Dram {
         Some(ColumnGate::Ready)
     }
 
+    /// The cycle at which the bank-side gate on a row-hit read clears
+    /// ([`Dram::column_gate`] stops reporting [`ColumnGate::Bank`]): the
+    /// max of the bank's column-read timing and the rank's refresh
+    /// recovery. `None` when the bank has no open row. Lets a
+    /// time-skipping caller compute, in one query, where the gate class
+    /// transitions inside a window in which no command issues.
+    pub fn read_bank_ready(&self, loc: Loc) -> Option<Cycle> {
+        let b = &self.banks[self.bank_idx(loc)];
+        b.open_row?;
+        let r = &self.ranks[self.rank_idx(loc.channel, loc.rank)];
+        Some(b.next_read.max(r.refresh_done))
+    }
+
     /// Issue `cmd` at `now`, updating all timing state.
     ///
     /// Returns the data completion time for column commands.
@@ -545,6 +558,19 @@ mod tests {
         assert_eq!(d.column_gate(&rd, ready_at + 1), Some(ColumnGate::Bus));
         // Non-read commands report no gate.
         assert_eq!(d.column_gate(&Command::precharge(0, 0, 0), ready_at), None);
+    }
+
+    #[test]
+    fn read_bank_ready_matches_column_gate_transition() {
+        let mut d = dev();
+        let loc = Loc::new(0, 0, 0);
+        let rd = Command::read(0, 0, 0, 5, 0, false);
+        assert_eq!(d.read_bank_ready(loc), None, "closed bank has no gate");
+        d.issue(&Command::activate(0, 0, 0, 5), 0);
+        let b = d.read_bank_ready(loc).unwrap();
+        assert_eq!(b, Cycle::from(t().t_rcd));
+        assert_eq!(d.column_gate(&rd, b - 1), Some(ColumnGate::Bank));
+        assert_ne!(d.column_gate(&rd, b), Some(ColumnGate::Bank));
     }
 
     #[test]

@@ -33,10 +33,9 @@
 //! core can hold your bank, so the cross-core bank matrix provably
 //! zeroes while bus contention stays visible.
 
-use std::collections::HashMap;
-
 use dbp_dram::{ColumnGate, Command, CommandKind, Cycle, Dram, Loc};
 use dbp_obs::latency::{LatencyReport, BANK_BUSY, BUS, INTRINSIC, QUEUE_OTHER, QUEUE_SAME};
+use dbp_obs::FxHashMap;
 
 use crate::request::{MemRequest, TrafficKind};
 use crate::ThreadId;
@@ -97,7 +96,7 @@ pub struct Anatomy {
     enabled: bool,
     /// Wait-cycle accumulators per in-flight demand read id:
     /// `[queue_same, queue_other, bank_busy, bus]`.
-    waits: HashMap<u64, [u64; 4]>,
+    waits: FxHashMap<u64, [u64; 4]>,
     /// Core whose column command most recently used each channel's bus.
     bus_owner: Vec<Option<ThreadId>>,
     /// Core that activated the current/most recent row per global bank
@@ -256,6 +255,127 @@ impl Anatomy {
                             self.report.bus_interference.add(r.thread, holder, 1);
                         } else {
                             self.report.bank_interference.add(r.thread, holder, 1);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Bulk-equivalent of `count` consecutive [`Anatomy::attribute_cycle`]
+    /// calls over `[from, from + count)` in which **nothing issued** on
+    /// any channel and the queues did not change.
+    ///
+    /// Under those preconditions the per-cycle classification is
+    /// piecewise-constant with at most one transition per request: a
+    /// request behind an older same-bank request (or facing a foreign
+    /// open row) keeps the same cause all window, while a bank-gated
+    /// request (tRCD tail, refresh recovery, or a closed bank's ACT
+    /// spacing) switches to a pure bus/arbitration wait the cycle the
+    /// bank-side constraint clears — a boundary the device reports in
+    /// one query ([`Dram::read_bank_ready`] / [`Dram::earliest_issue`]).
+    pub(crate) fn attribute_span(
+        &mut self,
+        from: Cycle,
+        count: Cycle,
+        dram: &Dram,
+        read_q: &[Vec<MemRequest>],
+    ) {
+        if count == 0 {
+            return;
+        }
+        let cfg = dram.cfg();
+        let (rpc, bpr) = (cfg.ranks_per_channel, cfg.banks_per_rank);
+        let gbank_of =
+            |r: &MemRequest| (((r.channel * rpc) + r.rank) * bpr + r.bank) as usize;
+        for slot in &mut self.bank_head {
+            *slot = None;
+        }
+        for slot in &mut self.oldest {
+            *slot = None;
+        }
+        for q in read_q {
+            for r in q {
+                let g = gbank_of(r);
+                let key = (r.arrival, r.id);
+                if self.bank_head[g].is_none_or(|(a, i, _)| key < (a, i)) {
+                    self.bank_head[g] = Some((r.arrival, r.id, r.thread));
+                }
+                if r.kind == TrafficKind::Demand && self.oldest[r.thread].is_none_or(|o| key < o)
+                {
+                    self.oldest[r.thread] = Some(key);
+                }
+            }
+        }
+        let end = from + count;
+        for q in read_q {
+            for r in q {
+                if r.kind != TrafficKind::Demand {
+                    continue;
+                }
+                let g = gbank_of(r);
+                // First-segment cause and the cycle (if any) at which it
+                // switches to a bus/arbitration wait. Mirrors `classify`
+                // with `ch_issued = None` on every cycle of the window.
+                let behind_older = self.bank_head[g]
+                    .is_some_and(|(a, i, _)| (a, i) < (r.arrival, r.id));
+                let loc = Loc::new(r.channel, r.rank, r.bank);
+                let (first, switch_at) = if behind_older {
+                    let (_, _, t) = self.bank_head[g].unwrap();
+                    (Cause::Queue { by: t, bus: false }, None)
+                } else {
+                    match dram.open_row(loc) {
+                        Some(row) if row == r.row => {
+                            let gate_clears = dram
+                                .read_bank_ready(loc)
+                                .expect("open row must report a gate");
+                            let bank_cause = if self.row_owner[g] == Some(r.thread) {
+                                Cause::Intrinsic
+                            } else {
+                                Cause::BankBusy { by: self.row_owner[g] }
+                            };
+                            (bank_cause, Some(gate_clears))
+                        }
+                        Some(_) => (Cause::BankBusy { by: self.row_owner[g] }, None),
+                        None => {
+                            let act = Command::Activate { loc, row: r.row };
+                            // No command issued since `from - 1`, so the
+                            // channel's same-cycle adjustment can't apply:
+                            // this is exactly when `timing_ready` flips.
+                            let act_ready = dram
+                                .earliest_issue(&act, from)
+                                .expect("closed bank accepts an activate");
+                            (Cause::BankBusy { by: self.row_owner[g] }, Some(act_ready))
+                        }
+                    }
+                };
+                let len1 = switch_at.map_or(count, |b| b.clamp(from, end) - from);
+                let bus_after = Cause::Bus { by: self.bus_owner[r.channel as usize] };
+                for (len, cause) in [(len1, first), (count - len1, bus_after)] {
+                    if len == 0 {
+                        continue;
+                    }
+                    let (component, charge) = match cause {
+                        Cause::Intrinsic => (None, None),
+                        Cause::Queue { by, bus } => {
+                            let c = if by == r.thread { 0 } else { 1 };
+                            (Some(c), Some((bus, by)))
+                        }
+                        Cause::BankBusy { by } => (Some(2), by.map(|j| (false, j))),
+                        Cause::Bus { by } => (Some(3), by.map(|j| (true, j))),
+                    };
+                    if let Some(c) = component {
+                        if let Some(w) = self.waits.get_mut(&r.id) {
+                            w[c] += len;
+                        }
+                    }
+                    if self.oldest[r.thread] == Some((r.arrival, r.id)) {
+                        if let Some((bus, holder)) = charge {
+                            if bus {
+                                self.report.bus_interference.add(r.thread, holder, len);
+                            } else {
+                                self.report.bank_interference.add(r.thread, holder, len);
+                            }
                         }
                     }
                 }

@@ -75,6 +75,44 @@ impl PartialOrd for PendingRead {
     }
 }
 
+/// Candidate command kind for a queued request, given its bank's current
+/// open row: a column access (row hit), a precharge (row conflict), or an
+/// activate (row closed). Timing legality depends only on this triple —
+/// never on the specific row or column — which is what makes the
+/// per-(bank, kind) candidate table below exact.
+const KIND_COL: u8 = 0;
+const KIND_PRE: u8 = 1;
+const KIND_ACT: u8 = 2;
+
+/// One (rank, bank, kind) candidate class and the queue slots behind it.
+#[derive(Debug, Clone)]
+struct Pair {
+    rank: u32,
+    bank: u32,
+    kind: u8,
+    /// Exact earliest cycle this class's command can issue, as of the
+    /// last refresh (`valid`). Device timing state changes only when a
+    /// command issues on the channel, so the value stays exact until the
+    /// table is marked stale; `Cycle::MAX` when the device returns no
+    /// legal time (cannot happen while `kind` matches the bank state).
+    t_legal: Cycle,
+    valid: bool,
+    /// Queue indices (unsorted) of the member requests.
+    members: Vec<u32>,
+}
+
+/// Per-(channel, queue) index of candidate classes, maintained
+/// incrementally on enqueue / issue so that command-issue scans and the
+/// time-skip calendar are O(distinct (bank, kind) classes) instead of
+/// O(queue depth x timing queries).
+#[derive(Debug, Clone, Default)]
+struct CandTable {
+    pairs: Vec<Pair>,
+    /// Set when a command issued on this channel: every `t_legal` must be
+    /// recomputed (lazily, at next use) against the new device state.
+    stale: bool,
+}
+
 /// A multi-channel memory controller in front of one [`Dram`] device.
 #[derive(Debug)]
 pub struct MemoryController {
@@ -83,6 +121,12 @@ pub struct MemoryController {
     sched: Box<dyn Scheduler>,
     read_q: Vec<Vec<MemRequest>>,
     write_q: Vec<Vec<MemRequest>>,
+    /// Candidate-class index per channel, one per queue, mirroring
+    /// `read_q` / `write_q` exactly (see [`CandTable`]).
+    cand_r: Vec<CandTable>,
+    cand_w: Vec<CandTable>,
+    /// Reusable (queue index, kind) gather buffer for `pick`.
+    scratch: Vec<(u32, u8)>,
     draining: Vec<bool>,
     pending: BinaryHeap<Reverse<PendingRead>>,
     prof: ProfilerState,
@@ -97,6 +141,13 @@ pub struct MemoryController {
     ctr_cmds: dbp_obs::prof::Counter,
     ctr_idle: dbp_obs::prof::Counter,
     ctr_blocked: dbp_obs::prof::Counter,
+    /// Memoised queue/refresh scan of [`MemoryController::next_event`]:
+    /// `(computed_at, at)`. Every scan input — queue contents, DRAM bank
+    /// timing, refresh deadlines, drain hysteresis — changes only when a
+    /// request is enqueued or a command issues, so the absolute event
+    /// time stays exact until one of those invalidates it (or `at`
+    /// arrives and the clamp to `now + 1` could move it).
+    queue_event: std::cell::Cell<Option<(Cycle, Cycle)>>,
 }
 
 impl MemoryController {
@@ -109,6 +160,9 @@ impl MemoryController {
         MemoryController {
             read_q: vec![Vec::with_capacity(cfg.read_q_cap); channels],
             write_q: vec![Vec::with_capacity(cfg.write_q_cap); channels],
+            cand_r: vec![CandTable::default(); channels],
+            cand_w: vec![CandTable::default(); channels],
+            scratch: Vec::new(),
             draining: vec![false; channels],
             pending: BinaryHeap::new(),
             prof: ProfilerState::new(threads, total_banks),
@@ -120,6 +174,7 @@ impl MemoryController {
             ctr_cmds: dbp_obs::prof::Counter::default(),
             ctr_idle: dbp_obs::prof::Counter::default(),
             ctr_blocked: dbp_obs::prof::Counter::default(),
+            queue_event: std::cell::Cell::new(None),
             dram,
             cfg,
             sched,
@@ -250,20 +305,25 @@ impl MemoryController {
             d.channel
         );
         let gbank = self.global_bank(&req);
+        self.queue_event.set(None);
         self.ctr_enq.incr();
         self.prof
             .on_enqueue(req.thread, gbank, req.is_write, req.kind != TrafficKind::Migration);
-        if req.is_write {
+        let chi = d.channel as usize;
+        let is_write = req.is_write;
+        if is_write {
             self.stats.enq_writes += 1;
-            self.write_q[d.channel as usize].push(req);
+            self.write_q[chi].push(req);
         } else {
             self.stats.enq_reads += 1;
             self.sched.on_enqueue(&req);
             if req.kind == TrafficKind::Demand {
                 self.anat.on_enqueue_read(req.id);
             }
-            self.read_q[d.channel as usize].push(req);
+            self.read_q[chi].push(req);
         }
+        let idx = if is_write { self.write_q[chi].len() } else { self.read_q[chi].len() } - 1;
+        self.cand_insert(chi, is_write, idx);
     }
 
     /// Advance one DRAM cycle: complete returned data, sample profiling,
@@ -302,6 +362,11 @@ impl MemoryController {
             self.sched.tick(now, &self.prof, &self.read_q);
         }
         let channels = self.dram.cfg().channels;
+        // When the memoised queue/refresh calendar proves no command can
+        // become legal before `at`, the scan is skipped wholesale; only
+        // the per-tick drain bookkeeping (which the stepped tick would
+        // have run after `try_refresh` found nothing) remains.
+        let scannable = !matches!(self.queue_event.get(), Some((_, at)) if now < at);
         let any_issued;
         if self.anat.is_enabled() {
             // Issue first, then attribute: a request whose column command
@@ -310,19 +375,36 @@ impl MemoryController {
             // below the total latency (the remainder is intrinsic).
             let issued: Vec<Option<IssuedCmd>> = {
                 let _s = PROF.then(|| self.host_prof.span("memctrl/issue"));
-                (0..channels).map(|ch| self.issue_channel(ch, now)).collect()
+                (0..channels)
+                    .map(|ch| {
+                        if scannable {
+                            self.issue_channel(ch, now)
+                        } else {
+                            self.tick_drain(ch);
+                            None
+                        }
+                    })
+                    .collect()
             };
             any_issued = issued.iter().any(Option::is_some);
             let _s = PROF.then(|| self.host_prof.span("memctrl/anatomy"));
             let MemoryController { dram, read_q, anat, closed_page, .. } = self;
             anat.attribute_cycle(now, dram, read_q, &issued, *closed_page);
-        } else {
+        } else if scannable {
             let _s = PROF.then(|| self.host_prof.span("memctrl/issue"));
             let mut any = false;
             for ch in 0..channels {
                 any |= self.issue_channel(ch, now).is_some();
             }
             any_issued = any;
+        } else {
+            for ch in 0..channels {
+                self.tick_drain(ch);
+            }
+            any_issued = false;
+        }
+        if any_issued {
+            self.queue_event.set(None);
         }
         if watch_polls {
             if in_flight_at_start == 0 {
@@ -330,6 +412,175 @@ impl MemoryController {
             } else if !any_issued {
                 self.ctr_blocked.incr();
             }
+        }
+    }
+
+    /// The next DRAM cycle strictly after `now` at which this controller
+    /// might act — complete a read, issue any command (including refresh
+    /// work), or hit a scheduler boundary that must tick exactly —
+    /// assuming nothing is enqueued in between.
+    ///
+    /// This is the controller's contribution to the time-skip calendar.
+    /// It may be *earlier* than the true next action (an extra tick is a
+    /// no-op identical to the stepped core), never later. All inputs are
+    /// static while no command issues, so one query covers the window.
+    pub fn next_event(&mut self, now: Cycle) -> Cycle {
+        let mut at = Cycle::MAX;
+        if let Some(&Reverse(p)) = self.pending.peek() {
+            at = at.min(p.ready_at);
+        }
+        if let Some(w) = self.sched.next_wake(now, &self.read_q) {
+            at = at.min(w.max(now + 1));
+        }
+        at.min(self.queue_event(now))
+    }
+
+    /// The queue/refresh half of [`MemoryController::next_event`]: the
+    /// earliest cycle after `now` at which a queued request's next
+    /// command becomes timing-legal or the refresh machinery can act.
+    /// Memoised — see the `queue_event` field for why the cached
+    /// absolute time stays exact until an enqueue or an issued command.
+    fn queue_event(&mut self, now: Cycle) -> Cycle {
+        if let Some((computed_at, at)) = self.queue_event.get() {
+            if now >= computed_at && now < at {
+                return at;
+            }
+        }
+        let mut at = Cycle::MAX;
+        let (channels, ranks) = (self.dram.cfg().channels, self.dram.cfg().ranks_per_channel);
+        for ch in 0..channels {
+            // Refresh urgency is constant inside the window: it flips ON
+            // only at a deadline (a calendar entry below) and OFF only
+            // when the REF issues (an executed tick).
+            let mut urgent: u64 = 0;
+            for rank in 0..ranks {
+                let deadline = self.dram.refresh_deadline(ch, rank);
+                if now < deadline {
+                    // Urgency flips at the deadline tick.
+                    at = at.min(deadline);
+                } else {
+                    urgent |= 1 << rank;
+                    // Already urgent: wake when the refresh machinery can
+                    // act (the REF itself, or a precharge clearing the way).
+                    let rf = Command::RefreshRank { channel: ch, rank };
+                    match self.dram.earliest_issue(&rf, now + 1) {
+                        Some(t) => at = at.min(t),
+                        None => {
+                            for bank in self.dram.open_banks(ch, rank) {
+                                let pre = Command::precharge(ch, rank, bank);
+                                if let Some(t) = self.dram.earliest_issue(&pre, now + 1) {
+                                    at = at.min(t);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // A queued request wakes the controller when its next command
+            // first becomes timing-legal — but only requests in the queue
+            // the drain mode would actually serve can issue, and an
+            // urgent rank admits no new activates (both mirror
+            // `issue_channel`/`pick`, and both are static inside the
+            // window: queue contents and write-queue length only change
+            // at executed ticks, so the hysteresis settles at the first
+            // skipped tick exactly as `skip_ticks` replays it).
+            let chi = ch as usize;
+            let wlen = self.write_q[chi].len();
+            let draining = if self.draining[chi] {
+                wlen > self.cfg.write_lo
+            } else {
+                wlen >= self.cfg.write_hi
+            };
+            let use_writes = draining || (self.read_q[chi].is_empty() && wlen > 0);
+            // Timing legality depends on (bank, command kind), never on
+            // the row or column, so the candidate table answers for every
+            // queued request with one cached query per class.
+            self.cand_refresh(chi, use_writes, now + 1);
+            let table = if use_writes { &self.cand_w[chi] } else { &self.cand_r[chi] };
+            for p in &table.pairs {
+                if p.kind == KIND_ACT && urgent & (1 << p.rank) != 0 {
+                    continue; // rank is waiting for refresh: no new rows
+                }
+                if p.t_legal != Cycle::MAX {
+                    // A class may have become legal at an already-executed
+                    // cycle (its `t_legal` was cached before `now`); the
+                    // wake-up itself must still land strictly after `now`.
+                    at = at.min(p.t_legal.max(now + 1));
+                }
+            }
+        }
+        self.queue_event.set(Some((now, at)));
+        at
+    }
+
+    /// Bulk-equivalent of `count` consecutive [`MemoryController::tick`]
+    /// calls over `[from, from + count)` during which — guaranteed by the
+    /// caller's calendar ([`MemoryController::next_event`]) — no data
+    /// returns, no command can issue, nothing is enqueued, and no
+    /// scheduler exact-wake boundary is crossed. The per-cycle counter
+    /// and sampling effects of those ticks are replicated in O(queued
+    /// requests), independent of `count`; scheduler-internal decay
+    /// catches up lazily from elapsed-cycle deltas at the next real tick.
+    pub fn skip_ticks(&mut self, from: Cycle, count: Cycle) {
+        if count == 0 {
+            return;
+        }
+        let _s = self
+            .host_prof
+            .is_enabled()
+            .then(|| self.host_prof.span("memctrl/skip"));
+        debug_assert!(
+            self.pending
+                .peek()
+                .is_none_or(|&Reverse(p)| p.ready_at >= from + count),
+            "skip window crosses a pending completion"
+        );
+        self.prof.sample_blp_n(count);
+        // Write-drain hysteresis: with static queues it settles at the
+        // first skipped tick; replicate that flip, then charge the window.
+        for chi in 0..self.draining.len() {
+            let wlen = self.write_q[chi].len();
+            if self.draining[chi] {
+                if wlen <= self.cfg.write_lo {
+                    self.draining[chi] = false;
+                }
+            } else if wlen >= self.cfg.write_hi {
+                self.draining[chi] = true;
+            }
+            if self.draining[chi] {
+                self.stats.drain_cycles += count;
+            }
+        }
+        if self.anat.is_enabled() {
+            let MemoryController { dram, read_q, anat, .. } = self;
+            anat.attribute_span(from, count, dram, read_q);
+        }
+        if self.host_prof.is_enabled() && self.ctr_idle.is_enabled() {
+            // Skipped cycles are still simulated time: count them against
+            // the same idle/blocked denominators the stepped core uses.
+            if self.in_flight() == 0 {
+                self.ctr_idle.add(count);
+            } else {
+                self.ctr_blocked.add(count);
+            }
+        }
+    }
+
+    /// Per-tick write-drain hysteresis update and drain-cycle charge —
+    /// the part of [`MemoryController::issue_channel`] that must run on
+    /// every tick even when the calendar proves nothing can issue.
+    fn tick_drain(&mut self, ch: u32) {
+        let chi = ch as usize;
+        let wlen = self.write_q[chi].len();
+        if self.draining[chi] {
+            if wlen <= self.cfg.write_lo {
+                self.draining[chi] = false;
+            }
+        } else if wlen >= self.cfg.write_hi {
+            self.draining[chi] = true;
+        }
+        if self.draining[chi] {
+            self.stats.drain_cycles += 1;
         }
     }
 
@@ -346,20 +597,10 @@ impl MemoryController {
                 return Some(ic);
             }
         }
-        // Write-drain hysteresis.
+        self.tick_drain(ch);
         let chi = ch as usize;
-        let wlen = self.write_q[chi].len();
-        if self.draining[chi] {
-            if wlen <= self.cfg.write_lo {
-                self.draining[chi] = false;
-            }
-        } else if wlen >= self.cfg.write_hi {
-            self.draining[chi] = true;
-        }
-        if self.draining[chi] {
-            self.stats.drain_cycles += 1;
-        }
-        let use_writes = self.draining[chi] || (self.read_q[chi].is_empty() && wlen > 0);
+        let use_writes = self.draining[chi]
+            || (self.read_q[chi].is_empty() && !self.write_q[chi].is_empty());
         self.issue_from(ch, now, use_writes, urgent)
     }
 
@@ -373,6 +614,8 @@ impl MemoryController {
             match self.dram.earliest_issue(&rf, now) {
                 Some(at) if at == now => {
                     self.dram.issue(&rf, now);
+                    // REF needs every bank closed, so no kinds change.
+                    self.cand_mark_stale(ch as usize);
                     self.stats.cmd_ref += 1;
                     self.ctr_cmds.incr();
                     return Some(IssuedCmd {
@@ -390,6 +633,8 @@ impl MemoryController {
                         let pre = Command::precharge(ch, rank, bank);
                         if self.dram.can_issue(&pre, now) {
                             self.dram.issue(&pre, now);
+                            self.cand_mark_stale(ch as usize);
+                            self.cand_rekind_bank(ch as usize, rank, bank);
                             self.stats.cmd_pre += 1;
                             self.ctr_cmds.incr();
                             return Some(IssuedCmd {
@@ -407,9 +652,222 @@ impl MemoryController {
         None
     }
 
-    /// Scan the queue for the most-preferred request whose next command is
-    /// legal now; returns (index, command, is_row_hit).
-    fn pick(&self, ch: u32, now: Cycle, is_write: bool, urgent: u64) -> Option<(usize, Command, bool)> {
+    /// Classify queue slot `idx` by its bank's current open row and add it
+    /// to the matching candidate class (creating the class if new). The
+    /// new class's `t_legal` is computed lazily at first use.
+    fn cand_insert(&mut self, chi: usize, is_write: bool, idx: usize) {
+        let q = if is_write { &self.write_q[chi] } else { &self.read_q[chi] };
+        let r = &q[idx];
+        let (rank, bank, row) = (r.rank, r.bank, r.row);
+        let loc = Loc::new(r.channel, rank, bank);
+        let kind = match self.dram.open_row(loc) {
+            Some(open) if open == row => KIND_COL,
+            Some(_) => KIND_PRE,
+            None => KIND_ACT,
+        };
+        let table = if is_write { &mut self.cand_w[chi] } else { &mut self.cand_r[chi] };
+        match table
+            .pairs
+            .iter_mut()
+            .find(|p| p.rank == rank && p.bank == bank && p.kind == kind)
+        {
+            Some(p) => p.members.push(idx as u32),
+            None => table.pairs.push(Pair {
+                rank,
+                bank,
+                kind,
+                t_legal: 0,
+                valid: false,
+                members: vec![idx as u32],
+            }),
+        }
+    }
+
+    /// Mirror `Vec::swap_remove(idx)` on the candidate table: drop the
+    /// member at `idx` and relabel the member that held the last queue
+    /// slot (`old_len - 1`) as `idx`.
+    fn cand_remove(&mut self, chi: usize, is_write: bool, idx: usize, old_len: usize) {
+        let table = if is_write { &mut self.cand_w[chi] } else { &mut self.cand_r[chi] };
+        let idx = idx as u32;
+        let last = (old_len - 1) as u32;
+        for pi in 0..table.pairs.len() {
+            let p = &mut table.pairs[pi];
+            if let Some(mi) = p.members.iter().position(|&m| m == idx) {
+                p.members.swap_remove(mi);
+                if p.members.is_empty() {
+                    table.pairs.swap_remove(pi);
+                }
+                break;
+            }
+        }
+        if last != idx {
+            'outer: for p in &mut table.pairs {
+                for m in &mut p.members {
+                    if *m == last {
+                        *m = idx;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-classify every queued request targeting (`rank`, `bank`) on
+    /// channel `chi`, in both queues — called after a command changed that
+    /// bank's open row (activate, precharge, or an auto-precharging
+    /// column access).
+    fn cand_rekind_bank(&mut self, chi: usize, rank: u32, bank: u32) {
+        for is_write in [false, true] {
+            let table = if is_write { &mut self.cand_w[chi] } else { &mut self.cand_r[chi] };
+            let mut moved: Vec<u32> = Vec::new();
+            table.pairs.retain(|p| {
+                if p.rank == rank && p.bank == bank {
+                    moved.extend(&p.members);
+                    false
+                } else {
+                    true
+                }
+            });
+            for m in moved {
+                self.cand_insert(chi, is_write, m as usize);
+            }
+        }
+    }
+
+    /// Mark both of a channel's candidate tables timing-stale (a command
+    /// issued there, so every cached `t_legal` must be re-derived).
+    fn cand_mark_stale(&mut self, chi: usize) {
+        self.cand_r[chi].stale = true;
+        self.cand_w[chi].stale = true;
+    }
+
+    /// Recompute any invalidated `t_legal` values in one table, querying
+    /// the device once per candidate class with `from` as the earliest
+    /// admissible cycle. Values computed at an earlier `from` stay exact
+    /// for later queries (constraint deadlines are absolute between
+    /// issues), so legality at `now >= from` is just `t_legal <= now`.
+    fn cand_refresh(&mut self, chi: usize, is_write: bool, from: Cycle) {
+        let MemoryController { dram, read_q, write_q, cand_r, cand_w, closed_page, .. } = self;
+        let (table, q) = if is_write {
+            (&mut cand_w[chi], &write_q[chi])
+        } else {
+            (&mut cand_r[chi], &read_q[chi])
+        };
+        if table.stale {
+            for p in &mut table.pairs {
+                p.valid = false;
+            }
+            table.stale = false;
+        }
+        for p in &mut table.pairs {
+            if p.valid {
+                continue;
+            }
+            let r = &q[p.members[0] as usize];
+            let loc = Loc::new(r.channel, p.rank, p.bank);
+            let cmd = match p.kind {
+                KIND_COL => {
+                    if is_write {
+                        Command::Write { loc, column: r.column, auto_pre: *closed_page }
+                    } else {
+                        Command::Read { loc, column: r.column, auto_pre: *closed_page }
+                    }
+                }
+                KIND_PRE => Command::Precharge { loc },
+                _ => Command::Activate { loc, row: r.row },
+            };
+            p.t_legal = dram.earliest_issue(&cmd, from).unwrap_or(Cycle::MAX);
+            p.valid = true;
+        }
+    }
+
+    /// Find the most-preferred request whose next command is legal now;
+    /// returns (index, command, is_row_hit).
+    ///
+    /// Driven by the candidate table: one cached timing answer per
+    /// (bank, kind) class admits or rejects every member at once, so
+    /// only the members of *legal* classes are visited. Visiting them in
+    /// ascending queue order makes the first-strictly-better-wins scan
+    /// byte-identical to a flat walk of the whole queue (checked against
+    /// one in debug builds).
+    fn pick(&mut self, ch: u32, now: Cycle, is_write: bool, urgent: u64) -> Option<(usize, Command, bool)> {
+        let chi = ch as usize;
+        self.cand_refresh(chi, is_write, now);
+        let MemoryController { cand_r, cand_w, read_q, write_q, sched, closed_page, scratch, .. } =
+            self;
+        let (table, queue) = if is_write {
+            (&cand_w[chi], &write_q[chi])
+        } else {
+            (&cand_r[chi], &read_q[chi])
+        };
+        scratch.clear();
+        for p in &table.pairs {
+            if p.t_legal > now {
+                continue;
+            }
+            if p.kind == KIND_ACT && urgent & (1 << p.rank) != 0 {
+                continue; // rank is waiting for refresh: no new rows
+            }
+            for &m in &p.members {
+                scratch.push((m, p.kind));
+            }
+        }
+        scratch.sort_unstable();
+        let mut best: Option<(usize, u8, bool)> = None;
+        for &(m, kind) in scratch.iter() {
+            let i = m as usize;
+            let r = &queue[i];
+            let hit = kind == KIND_COL;
+            let better = match &best {
+                None => true,
+                Some((bi, _, bhit)) => {
+                    if is_write {
+                        row_hit_then_age(r, hit, &queue[*bi], *bhit)
+                    } else {
+                        sched.prefer(r, hit, &queue[*bi], *bhit)
+                    }
+                }
+            };
+            if better {
+                best = Some((i, kind, hit));
+            }
+        }
+        let res = best.map(|(i, kind, hit)| {
+            let r = &queue[i];
+            let loc = Loc::new(ch, r.rank, r.bank);
+            let cmd = match kind {
+                KIND_COL => {
+                    if is_write {
+                        Command::Write { loc, column: r.column, auto_pre: *closed_page }
+                    } else {
+                        Command::Read { loc, column: r.column, auto_pre: *closed_page }
+                    }
+                }
+                KIND_PRE => Command::Precharge { loc },
+                _ => Command::Activate { loc, row: r.row },
+            };
+            (i, cmd, hit)
+        });
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            res,
+            self.pick_flat(ch, now, is_write, urgent),
+            "candidate table diverged from the flat queue scan"
+        );
+        res
+    }
+
+    /// The original exhaustive queue walk `pick` replicates — kept (debug
+    /// builds only) as the reference the candidate table is checked
+    /// against on every single pick.
+    #[cfg(debug_assertions)]
+    fn pick_flat(
+        &self,
+        ch: u32,
+        now: Cycle,
+        is_write: bool,
+        urgent: u64,
+    ) -> Option<(usize, Command, bool)> {
         let queue = if is_write { &self.write_q[ch as usize] } else { &self.read_q[ch as usize] };
         let mut best: Option<(usize, Command, bool)> = None;
         for (i, r) in queue.iter().enumerate() {
@@ -477,6 +935,7 @@ impl MemoryController {
             q[i].classified = true;
         }
         let res = self.dram.issue(&cmd, now);
+        self.cand_mark_stale(chi);
         self.ctr_cmds.incr();
         match cmd.kind() {
             CommandKind::Activate => self.stats.cmd_act += 1,
@@ -486,6 +945,10 @@ impl MemoryController {
             CommandKind::RefreshRank => {}
         }
         let loc = cmd.loc().expect("pick never returns REF");
+        // Row-state changes re-classify the bank's queued candidates.
+        if matches!(cmd.kind(), CommandKind::Activate | CommandKind::Precharge) {
+            self.cand_rekind_bank(chi, loc.rank, loc.bank);
+        }
         let issued = IssuedCmd {
             rank: loc.rank,
             bank: Some(loc.bank),
@@ -494,11 +957,18 @@ impl MemoryController {
             kind: IssuedKind::of(cmd.kind()),
         };
         if cmd.is_column() {
-            let req = if is_write {
-                self.write_q[chi].swap_remove(i)
+            let (req, old_len) = if is_write {
+                let n = self.write_q[chi].len();
+                (self.write_q[chi].swap_remove(i), n)
             } else {
-                self.read_q[chi].swap_remove(i)
+                let n = self.read_q[chi].len();
+                (self.read_q[chi].swap_remove(i), n)
             };
+            self.cand_remove(chi, is_write, i, old_len);
+            if self.closed_page {
+                // The auto-precharge closed the row under the survivors.
+                self.cand_rekind_bank(chi, loc.rank, loc.bank);
+            }
             let gbank = self.global_bank(&req);
             let t_burst = self.dram.cfg().timing.t_burst;
             self.prof.on_serviced(
@@ -1099,5 +1569,170 @@ mod prop_tests {
     #[test]
     fn regression_single_read_highest_page_fcfs() {
         conservation_holds(0, vec![(0, 511, false)]).unwrap();
+    }
+
+    fn build_any(idx: usize, recorded: bool) -> MemoryController {
+        use crate::scheduler::{Atlas, Bliss, FrFcfsCap};
+        let sched: Box<dyn Scheduler> = match idx {
+            0 => Box::new(Fcfs),
+            1 => Box::new(FrFcfs),
+            2 => Box::new(FrFcfsCap::new(Default::default())),
+            3 => Box::new(ParBs::new(Default::default(), 4)),
+            4 => Box::new(Atlas::new(Default::default(), 4)),
+            5 => Box::new(Bliss::new(Default::default(), 4)),
+            _ => Box::new(Tcm::new(Default::default(), 4)),
+        };
+        let mut mc = MemoryController::new(
+            Dram::new(DramConfig::fast_test()),
+            CtrlConfig { read_q_cap: 16, write_q_cap: 16, write_hi: 12, write_lo: 4 },
+            sched,
+            4,
+        );
+        if recorded {
+            mc.attach_recorder(dbp_obs::Recorder::new(Default::default()));
+        }
+        mc
+    }
+
+    /// Tentpole gate at the controller level: draining a queue by jumping
+    /// from `next_event` to `next_event` (with `skip_ticks` replicating
+    /// the window) must be bit-exact with ticking every cycle — same
+    /// completions in the same order, same counters (including
+    /// drain_cycles and BLP samples), and the same per-rank refresh
+    /// deadlines (i.e. exactly the same REF count per rank, even when a
+    /// jump would otherwise cross `refresh_due`).
+    fn skip_equals_stepped(sched_idx: usize, recorded: bool, reqs: &[(usize, u64, bool)]) -> CaseResult {
+        let feed = |mc: &mut MemoryController| {
+            let mut id = 0u64;
+            for &(thread, page, is_write) in reqs {
+                let addr = page << 12;
+                let ch = mc.channel_of(addr);
+                if !mc.can_accept(ch, is_write) {
+                    continue;
+                }
+                let req = if is_write {
+                    MemRequest::writeback(id, thread, addr, 0)
+                } else {
+                    MemRequest::demand_read(id, thread, addr, 0)
+                };
+                id += 1;
+                mc.enqueue(req);
+            }
+        };
+        let mut stepped = build_any(sched_idx, recorded);
+        feed(&mut stepped);
+        let mut done_s = Vec::new();
+        let mut now: Cycle = 0;
+        while stepped.in_flight() > 0 {
+            prop_assert!(now < 500_000, "stepped livelock");
+            stepped.tick(now, &mut done_s);
+            now += 1;
+        }
+
+        let mut skipped = build_any(sched_idx, recorded);
+        feed(&mut skipped);
+        let mut done_k = Vec::new();
+        let mut now: Cycle = 0;
+        let mut jumped = false;
+        while skipped.in_flight() > 0 {
+            prop_assert!(now < 500_000, "skipped livelock");
+            skipped.tick(now, &mut done_k);
+            let next = skipped.next_event(now).max(now + 1);
+            if next > now + 1 {
+                skipped.skip_ticks(now + 1, next - (now + 1));
+                jumped = true;
+            }
+            now = next;
+        }
+        prop_assert!(jumped || reqs.is_empty(), "the skipping drive must actually jump");
+        prop_assert_eq!(&done_k, &done_s, "completions must match exactly");
+        prop_assert_eq!(skipped.stats(), stepped.stats(), "counters must match");
+        for t in 0..4 {
+            prop_assert_eq!(
+                stepped.prof().cumulative(t),
+                skipped.prof().cumulative(t),
+                "thread {} profile must match",
+                t
+            );
+        }
+        let c = stepped.dram().cfg().clone();
+        for ch in 0..c.channels {
+            for rank in 0..c.ranks_per_channel {
+                prop_assert_eq!(
+                    stepped.dram().refresh_deadline(ch, rank),
+                    skipped.dram().refresh_deadline(ch, rank),
+                    "REF count must match on channel {} rank {}",
+                    ch,
+                    rank
+                );
+            }
+        }
+        if recorded {
+            let (a, b) = (
+                stepped.latency_report().expect("recorded"),
+                skipped.latency_report().expect("recorded"),
+            );
+            prop_assert_eq!(a.total_reads(), b.total_reads());
+            for (ca, cb) in a.cores.iter().zip(&b.cores) {
+                prop_assert_eq!(&ca.components, &cb.components, "stall attribution must match");
+            }
+            prop_assert_eq!(
+                a.bus_interference.off_diagonal_sum(),
+                b.bus_interference.off_diagonal_sum()
+            );
+            prop_assert_eq!(
+                a.bank_interference.off_diagonal_sum(),
+                b.bank_interference.off_diagonal_sum()
+            );
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn time_skipping_is_bit_exact_under_any_scheduler() {
+        let g = (
+            range(0usize..7),
+            any_bool(),
+            vec_of((range(0usize..4), range(0u64..512), any_bool()), 1..40),
+        );
+        check(Config::cases(32), &g, |(sched_idx, recorded, reqs)| {
+            skip_equals_stepped(sched_idx, recorded, &reqs)
+        });
+    }
+
+    /// A refresh deadline inside an otherwise-idle stretch must still
+    /// fire exactly: with empty queues a naive jump would sail past
+    /// `refresh_due`, but the calendar clamps to the deadline, the REF
+    /// issues on exactly the same cycle as in the stepped core, and the
+    /// per-rank deadline advances identically.
+    #[test]
+    fn refresh_fires_exactly_across_jumps() {
+        let mut stepped = build_any(1, false);
+        let mut skipped = build_any(1, false);
+        let mut done = Vec::new();
+        let horizon: Cycle = 1_000; // five fast_test tREFI periods
+        for now in 0..horizon {
+            stepped.tick(now, &mut done);
+        }
+        let mut now: Cycle = 0;
+        let mut ticked = 0u64;
+        while now < horizon {
+            skipped.tick(now, &mut done);
+            ticked += 1;
+            let next = skipped.next_event(now).max(now + 1).min(horizon);
+            skipped.skip_ticks(now + 1, next - (now + 1));
+            now = next;
+        }
+        assert!(done.is_empty());
+        assert_eq!(stepped.stats(), skipped.stats());
+        assert!(stepped.stats().cmd_ref >= 4, "horizon spans several tREFI");
+        assert!(
+            ticked < 2 * stepped.stats().cmd_ref + 4,
+            "idle stretches must be skipped, not stepped ({ticked} ticks)"
+        );
+        assert_eq!(
+            stepped.dram().refresh_deadline(0, 0),
+            skipped.dram().refresh_deadline(0, 0)
+        );
     }
 }

@@ -252,6 +252,21 @@ impl ProfilerState {
         }
     }
 
+    /// Bulk-equivalent of `count` consecutive [`Self::sample_blp`] calls.
+    ///
+    /// Valid only while queue occupancy is static (no enqueue/service in
+    /// the window): `nonzero_banks` is then constant, so `count` samples
+    /// each add the same `n`.
+    pub fn sample_blp_n(&mut self, count: u64) {
+        for (t, p) in self.epoch.iter_mut().enumerate() {
+            let n = self.nonzero_banks[t];
+            if n > 0 {
+                p.blp_accum += u64::from(n) * count;
+                p.blp_cycles += count;
+            }
+        }
+    }
+
     /// Feed retired-instruction deltas from the cores.
     pub fn add_instructions(&mut self, thread: usize, delta: u64) {
         self.epoch[thread].instructions += delta;

@@ -107,6 +107,12 @@ impl Scheduler for Atlas {
         }
         row_hit_then_age(a, a_hit, b, b_hit)
     }
+
+    fn next_wake(&self, _now: Cycle, _read_queues: &[Vec<MemRequest>]) -> Option<Cycle> {
+        // The quantum boundary re-anchors on the crossing tick and the
+        // requantize reads time-dependent profiler state: exact wake.
+        Some(self.next_quantum)
+    }
 }
 
 #[cfg(test)]

@@ -81,6 +81,12 @@ impl Scheduler for Bliss {
         row_hit_then_age(a, a_hit, b, b_hit)
     }
 
+    fn next_wake(&self, _now: Cycle, _read_queues: &[Vec<MemRequest>]) -> Option<Cycle> {
+        // `next_clear` re-anchors on whichever tick crosses it, so a late
+        // tick would drift the clearing cadence: exact wake required.
+        Some(self.next_clear)
+    }
+
     fn on_serviced(&mut self, req: &MemRequest, _now: Cycle) {
         if self.last_served == Some(req.thread) {
             self.streak += 1;

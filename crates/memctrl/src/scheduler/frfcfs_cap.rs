@@ -25,14 +25,18 @@ impl Default for FrFcfsCapConfig {
 pub struct FrFcfsCap {
     cfg: FrFcfsCapConfig,
     /// Consecutive row hits served, per (channel, rank, bank) key.
-    streaks: std::collections::HashMap<(u32, u32, u32), u32>,
+    streaks: dbp_obs::FxHashMap<(u32, u32, u32), u32>,
+    /// Decay boundaries already applied (boundary = 256-cycle mark,
+    /// including cycle 0). Lets `tick` apply the exact number of decays
+    /// elapsed even when the clock jumps over several boundaries.
+    boundaries_seen: u64,
 }
 
 impl FrFcfsCap {
     /// Build the scheduler.
     pub fn new(cfg: FrFcfsCapConfig) -> Self {
         assert!(cfg.cap > 0, "cap must be positive");
-        FrFcfsCap { cfg, streaks: std::collections::HashMap::new() }
+        FrFcfsCap { cfg, streaks: dbp_obs::FxHashMap::default(), boundaries_seen: 0 }
     }
 
     fn capped(&self, r: &MemRequest) -> bool {
@@ -70,10 +74,17 @@ impl Scheduler for FrFcfsCap {
         _read_queues: &[Vec<MemRequest>],
     ) {
         // Streaks decay every few hundred cycles so a bank is not capped
-        // forever after a burst.
-        if now.is_multiple_of(256) {
+        // forever after a burst. Decay by the number of 256-cycle
+        // boundaries crossed since the last tick, not by one: a
+        // time-skipping driver may not tick every boundary, and k
+        // successive `saturating_sub(1)` equal one `saturating_sub(k)`.
+        let total = now / 256 + 1;
+        let k = total - self.boundaries_seen;
+        if k > 0 {
+            self.boundaries_seen = total;
+            let k = u32::try_from(k).unwrap_or(u32::MAX);
             for s in self.streaks.values_mut() {
-                *s = s.saturating_sub(1);
+                *s = s.saturating_sub(k);
             }
         }
     }
@@ -112,6 +123,26 @@ mod tests {
         // Another bank is unaffected.
         let hit_other_bank = req(4, 0, 1, 9);
         assert!(s.prefer(&hit_other_bank, true, &old_miss, false));
+    }
+
+    #[test]
+    fn decay_is_delta_exact_across_jumps() {
+        // One tick landing after several skipped boundaries must decay
+        // exactly as much as ticking every cycle would have.
+        let prof = crate::profiler::ProfilerState::new(1, 8);
+        let mut stepped = FrFcfsCap::new(FrFcfsCapConfig { cap: 2 });
+        let mut skipped = FrFcfsCap::new(FrFcfsCapConfig { cap: 2 });
+        for s in [&mut stepped, &mut skipped] {
+            s.tick(0, &prof, &[]);
+            for i in 0..6 {
+                s.on_serviced(&req(i, 0, 0, 1), 1);
+            }
+        }
+        for now in 1..=700u64 {
+            stepped.tick(now, &prof, &[]);
+        }
+        skipped.tick(700, &prof, &[]);
+        assert_eq!(stepped.streaks, skipped.streaks);
     }
 
     #[test]

@@ -52,6 +52,18 @@ pub trait Scheduler: std::fmt::Debug {
 
     /// Notification: a read's column command issued.
     fn on_serviced(&mut self, _req: &MemRequest, _now: Cycle) {}
+
+    /// The next cycle at which this scheduler's `tick` must run for
+    /// bit-exactness — because it re-reads external state (profiler
+    /// snapshots, wall-clock anchors) or snapshots queue contents into
+    /// persistent state (PAR-BS batch marks). `read_queues` is the same
+    /// per-channel view `tick` receives, so a wake may be conditioned on
+    /// queue occupancy. Schedulers whose tick is a pure catch-up over
+    /// elapsed time (k skipped decays equal one decay-by-k) may return
+    /// `None`: their catch-up is lazy and order-insensitive.
+    fn next_wake(&self, _now: Cycle, _read_queues: &[Vec<MemRequest>]) -> Option<Cycle> {
+        None
+    }
 }
 
 /// Shared tie-break: row hits first, then age. Every scheduler bottoms

@@ -8,9 +8,8 @@
 //! shortest-job-first (fewest marked requests, by max-per-bank then
 //! total), which preserves each thread's bank-level parallelism.
 
-use std::collections::{HashMap, HashSet};
-
 use dbp_dram::Cycle;
+use dbp_obs::{FxHashMap, FxHashSet};
 
 use crate::profiler::ProfilerState;
 use crate::request::MemRequest;
@@ -33,7 +32,7 @@ impl Default for ParBsConfig {
 #[derive(Debug)]
 pub struct ParBs {
     cfg: ParBsConfig,
-    marked: HashSet<u64>,
+    marked: FxHashSet<u64>,
     rank_of: Vec<u32>,
 }
 
@@ -41,7 +40,7 @@ impl ParBs {
     /// Build a PAR-BS scheduler for `threads` threads.
     pub fn new(cfg: ParBsConfig, threads: usize) -> Self {
         assert!(cfg.batch_cap > 0, "batch_cap must be positive");
-        ParBs { cfg, marked: HashSet::new(), rank_of: vec![0; threads] }
+        ParBs { cfg, marked: FxHashSet::default(), rank_of: vec![0; threads] }
     }
 
     /// Whether a request is in the current batch.
@@ -56,7 +55,8 @@ impl ParBs {
 
     fn form_batch(&mut self, read_queues: &[Vec<MemRequest>]) {
         // Oldest batch_cap per (thread, bank-in-channel).
-        let mut per_key: HashMap<(usize, u32, u32, u32), Vec<&MemRequest>> = HashMap::new();
+        let mut per_key: FxHashMap<(usize, u32, u32, u32), Vec<&MemRequest>> =
+            FxHashMap::default();
         for q in read_queues {
             for r in q {
                 per_key
@@ -108,6 +108,20 @@ impl Scheduler for ParBs {
             return ra < rb;
         }
         row_hit_then_age(a, a_hit, b, b_hit)
+    }
+
+    fn next_wake(&self, now: Cycle, read_queues: &[Vec<MemRequest>]) -> Option<Cycle> {
+        // Batch formation anchors on the first tick where the previous
+        // batch has drained and a request is waiting, and the marks it
+        // takes are a snapshot of the queues *at that tick* — a late
+        // formation would mark requests that arrived in between. Force
+        // the very next tick to execute whenever formation is pending;
+        // that tick forms the batch, so the wake disarms itself.
+        if self.marked.is_empty() && read_queues.iter().any(|q| !q.is_empty()) {
+            Some(now + 1)
+        } else {
+            None
+        }
     }
 
     fn on_serviced(&mut self, req: &MemRequest, _now: Cycle) {
@@ -166,6 +180,16 @@ mod tests {
         let a = req(0, 0, 0, 0);
         let b = req(1, 1, 1, 0);
         assert!(s.prefer(&a, false, &b, false));
+    }
+
+    #[test]
+    fn wake_pends_only_while_formation_is_due() {
+        let mut s = ParBs::new(ParBsConfig::default(), 1);
+        assert_eq!(s.next_wake(10, &[vec![]]), None, "empty queues: nothing to form");
+        let queues = vec![vec![req(0, 0, 0, 0)]];
+        assert_eq!(s.next_wake(10, &queues), Some(11), "drained batch + queued request");
+        s.tick(11, &ProfilerState::new(1, 8), &queues);
+        assert_eq!(s.next_wake(11, &queues), None, "formation disarms the wake");
     }
 
     #[test]

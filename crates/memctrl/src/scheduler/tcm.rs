@@ -238,6 +238,14 @@ impl Scheduler for Tcm {
         }
         row_hit_then_age(a, a_hit, b, b_hit)
     }
+
+    fn next_wake(&self, _now: Cycle, _read_queues: &[Vec<MemRequest>]) -> Option<Cycle> {
+        // Quantum and shuffle boundaries anchor on the tick that crosses
+        // them (`next_* = now + interval`) and the requantize snapshot
+        // reads time-dependent profiler state, so the driver must tick at
+        // exactly these cycles.
+        Some(self.next_quantum.min(self.next_shuffle))
+    }
 }
 
 #[cfg(test)]

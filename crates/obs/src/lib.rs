@@ -22,6 +22,7 @@
 
 pub mod event;
 pub mod export;
+pub mod fxhash;
 pub mod hist;
 pub mod json;
 pub mod latency;
@@ -30,6 +31,7 @@ pub mod recorder;
 pub mod table;
 
 pub use event::{EventKind, MigrationCause, TraceEvent};
+pub use fxhash::{FxHashMap, FxHashSet};
 pub use hist::Histogram;
 pub use json::Json;
 pub use latency::{CoreLatency, LatencyReport, Matrix};

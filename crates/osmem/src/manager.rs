@@ -221,6 +221,23 @@ impl MemoryManager {
         }
     }
 
+    /// Side-effect-free translation probe: `Some(pa)` only when a call to
+    /// [`MemoryManager::translate`] would be a pure lookup — the page is
+    /// resident and would not trigger a lazy migration (nor any migration
+    /// bookkeeping such as budget deferral). `None` means translating now
+    /// could mutate state, so a time-skipping caller must not assume the
+    /// access repeats identically.
+    pub fn peek(&self, thread: ThreadId, vaddr: u64) -> Option<u64> {
+        let vpn = vaddr >> self.page_bits;
+        let offset = vaddr & ((1 << self.page_bits) - 1);
+        let frame = self.tables[thread].translate(vpn)?;
+        let violates = !self.partitions[thread].contains(self.allocator.color_of(frame));
+        if violates && self.mode == MigrationMode::Lazy {
+            return None;
+        }
+        Some((frame << self.page_bits) | offset)
+    }
+
     /// Apply a new partition to `thread`.
     ///
     /// In [`MigrationMode::Eager`] every violating resident page is moved
@@ -455,6 +472,23 @@ mod tests {
         assert_eq!(mm.violating_pages(0), 0);
         // Subsequent touches are clean.
         assert!(mm.translate(0, 0x1000).migration.is_none());
+    }
+
+    #[test]
+    fn peek_is_pure_and_mirrors_translate() {
+        let mut mm = MemoryManager::new(&cfg(), 1, MigrationMode::Lazy);
+        mm.set_partition(0, ColorSet::from_iter([0u32]));
+        // Not resident: peek refuses (translate would demand-allocate).
+        assert_eq!(mm.peek(0, 0x1000), None);
+        let t = mm.translate(0, 0x1000);
+        let stats = *mm.stats();
+        // Resident and legal: peek agrees with translate, mutating nothing.
+        assert_eq!(mm.peek(0, 0x1040), Some((t.pa & !0xfff) | 0x40));
+        assert_eq!(*mm.stats(), stats);
+        // Violating under lazy mode: translate would migrate, so peek refuses.
+        mm.set_partition(0, ColorSet::from_iter([3u32]));
+        assert_eq!(mm.peek(0, 0x1000), None);
+        assert_eq!(*mm.stats(), stats);
     }
 
     #[test]

@@ -1,13 +1,17 @@
 //! Per-thread virtual-to-physical page maps.
 
-use std::collections::HashMap;
+use dbp_obs::FxHashMap;
 
 use crate::{Frame, Vpn};
 
 /// A flat page table for one thread.
+///
+/// Backed by a fixed-seed [`FxHashMap`]: `translate` sits on the
+/// simulator's hottest path (every core memory poll), and the fixed seed
+/// keeps iteration order reproducible across runs.
 #[derive(Debug, Clone, Default)]
 pub struct PageTable {
-    map: HashMap<Vpn, Frame>,
+    map: FxHashMap<Vpn, Frame>,
 }
 
 impl PageTable {

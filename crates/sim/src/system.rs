@@ -1,6 +1,6 @@
 //! The composed system and its cycle loop.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use dbp_cache::{AccessLevel, Hierarchy, Mshr};
 use dbp_core::policy::PartitionPolicy;
@@ -8,7 +8,7 @@ use dbp_core::{ColorTopology, ThreadMemProfile};
 use dbp_cpu::{Core, MemIssue, TraceSource};
 use dbp_dram::DramStats;
 use dbp_memctrl::{Completion, MemRequest, MemoryController, ThreadProf};
-use dbp_obs::{EpochSample, EventKind, Prof, Recorder, RecorderConfig, ThreadSample};
+use dbp_obs::{EpochSample, EventKind, FxHashMap, Prof, Recorder, RecorderConfig, ThreadSample};
 use dbp_osmem::{ColorSet, MemoryManager, MigrationJob, OsStats};
 
 use crate::config::{MigrationCost, SimConfig};
@@ -31,17 +31,26 @@ pub struct System {
     caches: Vec<Hierarchy>,
     mshrs: Vec<Mshr>,
     /// Per core: line address -> load ids waiting on the fill.
-    waiting: Vec<HashMap<u64, Vec<u64>>>,
+    waiting: Vec<FxHashMap<u64, Vec<u64>>>,
     osmem: MemoryManager,
     ctrl: MemoryController,
     policy: Box<dyn PartitionPolicy>,
     topo: ColorTopology,
     last_plan: Option<Vec<ColorSet>>,
     /// Request id -> (core, line) for demand-read completions.
-    req_map: HashMap<u64, (usize, u64)>,
+    req_map: FxHashMap<u64, (usize, u64)>,
     next_req_id: u64,
     /// Copy traffic waiting for queue space: (thread, addr, is_write).
     migration_backlog: VecDeque<(usize, u64, bool)>,
+    /// Per core: the last full poll evaluation proved "probe miss, no
+    /// MSHR merge, MSHR full" — a verdict that cannot change until a
+    /// completion is delivered to this core (frees an MSHR slot, fills
+    /// the cache) or a repartition (remaps pages, refills migration
+    /// budget), so repeat polls can return `Retry` without re-walking
+    /// page table, caches and queues. Only consulted when time skipping
+    /// is on: the stepped reference path stays a plain interpreter so
+    /// the CI cross-check would expose a stale-verdict bug here.
+    poll_stuck: Vec<bool>,
     last_fed_instr: Vec<u64>,
     cycle: u64,
     finish_cycle: Vec<Option<u64>>,
@@ -60,6 +69,11 @@ pub struct System {
     /// DRAM profiler — the two measure different worlds.
     host_prof: Prof,
     ctr_cycles: dbp_obs::prof::Counter,
+    ctr_skipped: dbp_obs::prof::Counter,
+    /// Event-driven time skipping (see [`System::maybe_skip`]). On by
+    /// default; disabled by `DBP_NO_SKIP` or [`System::set_time_skip`]
+    /// for stepped-reference cross-checks.
+    time_skip: bool,
 }
 
 impl std::fmt::Debug for System {
@@ -139,15 +153,20 @@ impl System {
         ctrl.attach_recorder(rec.clone());
         ctrl.attach_profiler(&prof);
         let ctr_cycles = prof.counter("sim/cycles_stepped");
+        let ctr_skipped = prof.counter("sim/cycles_skipped");
+        // Any value (even "0") disables skipping: the variable is a CI
+        // cross-check switch, not a tristate.
+        let time_skip = std::env::var_os("DBP_NO_SKIP").is_none();
         System {
             cores: traces.into_iter().map(|t| Core::new(cfg.core, t)).collect(),
             caches: (0..n).map(|_| Hierarchy::new(cfg.hierarchy)).collect(),
             mshrs: (0..n).map(|_| Mshr::new(cfg.mshrs)).collect(),
-            waiting: (0..n).map(|_| HashMap::new()).collect(),
+            waiting: (0..n).map(|_| FxHashMap::default()).collect(),
             last_plan: Some(plan),
-            req_map: HashMap::new(),
+            req_map: FxHashMap::default(),
             next_req_id: 0,
             migration_backlog: VecDeque::new(),
+            poll_stuck: vec![false; n],
             last_fed_instr: vec![0; n],
             cycle: 0,
             finish_cycle: vec![None; n],
@@ -167,7 +186,16 @@ impl System {
             rec,
             host_prof: prof,
             ctr_cycles,
+            ctr_skipped,
+            time_skip,
         }
+    }
+
+    /// Enable or disable event-driven time skipping. Skipping never
+    /// changes simulated outcomes (that is the invariant `DBP_NO_SKIP=1`
+    /// CI runs exist to police), only wall-clock speed.
+    pub fn set_time_skip(&mut self, on: bool) {
+        self.time_skip = on;
     }
 
     /// The telemetry recorder this system emits into (disabled unless
@@ -229,6 +257,20 @@ impl System {
                     || self.cores.iter().any(|c| c.retired() < warm))
             {
                 self.step();
+                // The skip bound is derived from the *post-step* state: a
+                // loop exit condition must never be jumped over. While a
+                // core is still short of the warmup target only the cycle
+                // cap can end the loop; once all cores are warm the jump
+                // must land exactly on the min-cycle clamp, because
+                // measurement starts there.
+                let behind = self.cores.iter().any(|c| c.retired() < warm);
+                if self.cycle < self.cfg.max_cpu_cycles
+                    && (behind || self.cycle < min_cycles)
+                {
+                    let bound =
+                        if behind { self.cfg.max_cpu_cycles } else { min_cycles };
+                    self.maybe_skip(bound);
+                }
             }
             self.begin_measurement();
         }
@@ -238,6 +280,12 @@ impl System {
                 && self.finish_cycle.iter().any(Option::is_none)
             {
                 self.step();
+                // Same post-step guard: if the step just finished the last
+                // core, stepped mode exits here — a jump would inflate the
+                // final cycle count.
+                if self.finish_cycle.iter().any(Option::is_none) {
+                    self.maybe_skip(self.cfg.max_cpu_cycles);
+                }
             }
         }
         let _phase = self.host_prof.span("sim/collect");
@@ -252,6 +300,7 @@ impl System {
         // charged to an arbitrary slice of the measured window.
         self.osmem.conform_all();
         self.migration_backlog.clear();
+        self.poll_stuck.fill(false);
         self.measure_start = self.cycle;
         for i in 0..self.cores.len() {
             self.base_retired[i] = self.cores[i].retired();
@@ -280,6 +329,149 @@ impl System {
         } else {
             self.step_impl::<false>();
         }
+    }
+
+    /// Advance one cycle, then — when time skipping is enabled and every
+    /// component is provably idle — jump to the next cycle at which
+    /// anything can happen, but never to or past `bound`.
+    ///
+    /// Counters charged per cycle (core stall anatomy, controller idle
+    /// time, bank-level-parallelism sampling) are bulk-advanced over the
+    /// jumped window, so outcomes are byte-identical to calling
+    /// [`System::step`] `bound - cycle` times; only wall-clock changes.
+    pub fn advance(&mut self, bound: u64) {
+        self.step();
+        self.maybe_skip(bound);
+    }
+
+    /// Jump `cycle` forward to the next possibly-interesting cycle, or do
+    /// nothing if any component could act (or observe new state) before
+    /// it. See DESIGN.md "Event-driven time skipping" for the calendar
+    /// and the no-state-change proof obligations.
+    fn maybe_skip(&mut self, bound: u64) {
+        if !self.time_skip {
+            return;
+        }
+        let cur = self.cycle;
+        if cur >= bound {
+            return;
+        }
+        let n = self.cores.len();
+        if n > 64 {
+            return; // forward-plan bitmask: far above any simulated CMP
+        }
+        // Gate 1: every core must be either blocked — with any memory
+        // poll provably stuck at `Retry` for the whole window — or in a
+        // compute phase with a provable memory-free horizon. The blocked
+        // re-check mirrors `tick_cores`' pre-flight on *pure* views only:
+        // a peek that could allocate/migrate, a probe that would hit, or
+        // a free resource all mean the next tick mutates shared state —
+        // no skip.
+        let channels = self.cfg.dram.channels;
+        let write_cap = self.cfg.ctrl.write_q_cap;
+        let warm = self.cfg.warmup_instructions;
+        let mut target = bound;
+        let mut fwd: u64 = 0;
+        for i in 0..n {
+            match self.cores[i].idle_state() {
+                dbp_cpu::IdleState::Blocked { timer, mem_poll } => {
+                    if let Some(t) = timer {
+                        target = target.min(t);
+                    }
+                    let Some((vaddr, _)) = mem_poll else { continue };
+                    if self.poll_stuck[i] {
+                        continue; // memoised stuck verdict, still valid
+                    }
+                    let Some(pa) = self.osmem.peek(i, vaddr) else {
+                        return;
+                    };
+                    let line = pa & !63;
+                    if self.caches[i].probe(pa) || self.mshrs[i].contains(line) {
+                        return; // would hit or merge: the poll makes progress
+                    }
+                    let would_retry = self.mshrs[i].is_full()
+                        || !self.ctrl.can_accept(self.ctrl.channel_of(line), false)
+                        || (0..channels)
+                            .any(|ch| self.ctrl.queue_len(ch, true) + 2 > write_cap);
+                    if !would_retry {
+                        return; // the poll would enqueue next tick
+                    }
+                }
+                dbp_cpu::IdleState::Active => {
+                    // Compute phase: the window is replayed with ordinary
+                    // ticks (`Core::forward`), so the core's own timers
+                    // fire internally and need no calendar entry — only
+                    // its next possible memory dispatch bounds the jump.
+                    let h = self.cores[i].compute_horizon();
+                    if h == 0 {
+                        return;
+                    }
+                    fwd |= 1 << i;
+                    target = target.min(cur + h);
+                    // Forwarded ticks retire instructions, but the warmup
+                    // exit (`run`) and the finish check (`step`) observe
+                    // `retired` on executed cycles only: end the window
+                    // before this core could cross either threshold.
+                    let retired = self.cores[i].retired();
+                    let width = self.cores[i].max_retire_per_cycle();
+                    let fence = |threshold: u64, target: &mut u64| {
+                        let room = threshold.saturating_sub(retired);
+                        *target = (*target).min(cur + room.saturating_sub(1) / width);
+                    };
+                    if retired < warm {
+                        fence(warm, &mut target);
+                    }
+                    if self.finish_cycle[i].is_none() {
+                        let done = self.base_retired[i] + self.cfg.target_instructions;
+                        fence(done, &mut target);
+                    }
+                }
+            }
+        }
+        // Gate 2: pending migration copy traffic that the controller
+        // would accept means the next DRAM tick enqueues — no skip. (If
+        // the queue is full it stays full for the whole window: nothing
+        // issues or completes before the controller's next event.)
+        if let Some(&(_, addr, is_write)) = self.migration_backlog.front() {
+            if self.ctrl.can_accept(self.ctrl.channel_of(addr), is_write) {
+                return;
+            }
+        }
+        // Calendar: the jump lands on the earliest of the controller's
+        // next event, a core wake timer, and the next epoch / feed
+        // boundary (those run code even with everyone idle).
+        let cpd = self.cfg.cpu_per_dram;
+        let next_mult = |n: u64, m: u64| if n.is_multiple_of(m) { n } else { (n / m + 1) * m };
+        target = target.min(next_mult(cur, self.cfg.epoch_cpu_cycles));
+        target = target.min(next_mult(cur, self.cfg.instr_feed_interval));
+        // The controller only acts on DRAM-tick cycles: when the window
+        // already ends at or before the first one, its calendar cannot
+        // lower `target` (`next_event` > `last_dram`, so scaled it is
+        // ≥ `from * cpd`) and the query is skipped.
+        let from = cur.div_ceil(cpd);
+        if target > from * cpd {
+            let last_dram = (cur - 1) / cpd;
+            target = target.min(self.ctrl.next_event(last_dram).saturating_mul(cpd));
+        }
+        if target <= cur {
+            return;
+        }
+        // Perform the jump: cycles [cur, target) are skipped, `target`
+        // itself executes as a normal step.
+        let k = target - cur;
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            if fwd & (1 << i) != 0 {
+                core.forward(cur, k);
+            } else {
+                core.skip_cycles(k);
+            }
+        }
+        let count = target.div_ceil(cpd) - from;
+        self.ctrl.skip_ticks(from, count);
+        if self.host_prof.is_enabled() {
+            self.ctr_skipped.add(k);
+        }
+        self.cycle = target;
     }
 
     fn step_impl<const PROF: bool>(&mut self) {
@@ -344,6 +536,7 @@ impl System {
                 .req_map
                 .remove(&c.id)
                 .expect("completion for unknown request");
+            self.poll_stuck[core] = false;
             self.mshrs[core].complete(line);
             if let Some(waiters) = self.waiting[core].remove(&line) {
                 for load in waiters {
@@ -361,6 +554,7 @@ impl System {
         let charge_migration = self.cfg.migration_cost == MigrationCost::Charged;
         let lines_per_page = self.cfg.migration_lines_per_page;
         let page_bytes = u64::from(self.cfg.dram.page_bytes);
+        let time_skip = self.time_skip;
         let System {
             cores,
             caches,
@@ -371,6 +565,7 @@ impl System {
             req_map,
             next_req_id,
             migration_backlog,
+            poll_stuck,
             stats,
             ..
         } = self;
@@ -378,7 +573,14 @@ impl System {
             let cache = &mut caches[i];
             let mshr = &mut mshrs[i];
             let waits = &mut waiting[i];
+            let stuck = &mut poll_stuck[i];
             let mut mem = |vaddr: u64, is_write: bool, load_id: u64| -> MemIssue {
+                if time_skip && *stuck {
+                    // Memoised verdict (see `poll_stuck`): this exact poll
+                    // already proved Retry-on-full-MSHR and nothing that
+                    // could change it has happened since.
+                    return MemIssue::Retry;
+                }
                 let tr = osmem.translate(i, vaddr);
                 if let Some(job) = tr.migration {
                     if charge_migration {
@@ -397,6 +599,7 @@ impl System {
                 let merged = mshr.contains(line);
                 if !cache.probe(pa) && !merged {
                     if mshr.is_full() {
+                        *stuck = true;
                         return MemIssue::Retry;
                     }
                     if !ctrl.can_accept(ctrl.channel_of(line), false) {
@@ -450,6 +653,8 @@ impl System {
 
     fn repartition(&mut self) {
         self.feed_instructions();
+        // Refilled budget / remapped pages can unstick any poll.
+        self.poll_stuck.fill(false);
         self.osmem
             .refill_migration_budget(self.cfg.migration_budget_pages);
         let epoch = self.stats.repartitions;
@@ -734,5 +939,108 @@ mod tests {
         let mut sys = System::new(small_cfg(), vec![stream_trace(1)]);
         let r = sys.run();
         assert!(r.row_hit_rate > 0.5, "a pure stream is row-friendly: {}", r.row_hit_rate);
+    }
+
+    #[test]
+    fn time_skipping_engages_and_matches_stepped_run() {
+        let mut cfg = small_cfg();
+        cfg.policy = PolicyKind::Dbp(Default::default());
+        cfg.epoch_cpu_cycles = 10_000;
+        cfg.instr_feed_interval = 5_000;
+        cfg.target_instructions = 40_000;
+        let arm = |skip: bool| {
+            let t0 = SyntheticTrace::new(profiles::by_name("mcf"), 11);
+            let t1 = SyntheticTrace::new(profiles::by_name("libquantum"), 12);
+            let prof = dbp_obs::Prof::enabled();
+            let mut sys = System::with_instrumentation(
+                cfg.clone(),
+                vec![Box::new(t0), Box::new(t1)],
+                Recorder::disabled(),
+                prof,
+            );
+            sys.set_time_skip(skip);
+            let r = sys.run();
+            let skipped = sys.profiler().counter("sim/cycles_skipped").get();
+            (r, skipped, sys.cycle())
+        };
+        let (skipped_run, skipped_cycles, skipped_end) = arm(true);
+        let (stepped_run, stepped_skipped, stepped_end) = arm(false);
+        assert_eq!(stepped_skipped, 0, "DBP_NO_SKIP semantics: no jumps");
+        assert!(skipped_cycles > 0, "memory-bound mix must expose idle windows");
+        assert_eq!(skipped_run, stepped_run);
+        assert_eq!(skipped_end, stepped_end);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::config::SchedulerKind;
+    use dbp_core::policy::PolicyKind;
+    use dbp_util::prop::{check, range, Config};
+    use dbp_util::{prop_assert, prop_assert_eq};
+    use dbp_workloads::{profiles, SyntheticTrace};
+
+    /// Skip-on and stepped runs of random mixes must agree on every
+    /// reported metric, on final simulated time, and on per-rank refresh
+    /// schedules, under every scheduler and both partition policies.
+    #[test]
+    fn time_skipping_is_bit_exact_end_to_end() {
+        let names = ["mcf", "libquantum", "lbm", "povray", "gcc", "omnetpp"];
+        let gen = (
+            range(0usize..7),            // scheduler
+            range(0usize..names.len()),  // workload 0
+            range(0usize..names.len()),  // workload 1
+            range(0u64..1000),           // seed base
+            range(0usize..2),            // policy: none / dbp
+        );
+        check(Config::cases(6), &gen, |(s, w0, w1, seed, pol)| {
+            let mut cfg = SimConfig::fast_test();
+            cfg.epoch_cpu_cycles = 10_000;
+            cfg.instr_feed_interval = 5_000;
+            cfg.target_instructions = 20_000;
+            cfg.scheduler = match s {
+                0 => SchedulerKind::Fcfs,
+                1 => SchedulerKind::FrFcfs,
+                2 => SchedulerKind::FrFcfsCap(Default::default()),
+                3 => SchedulerKind::ParBs(Default::default()),
+                4 => SchedulerKind::Atlas(Default::default()),
+                5 => SchedulerKind::Bliss(Default::default()),
+                _ => SchedulerKind::Tcm(Default::default()),
+            };
+            if pol == 1 {
+                cfg.policy = PolicyKind::Dbp(Default::default());
+            }
+            let arm = |skip: bool| {
+                let t0 = SyntheticTrace::new(profiles::by_name(names[w0]), seed + 1);
+                let t1 = SyntheticTrace::new(profiles::by_name(names[w1]), seed + 2);
+                let mut sys =
+                    System::new(cfg.clone(), vec![Box::new(t0), Box::new(t1)]);
+                sys.set_time_skip(skip);
+                let run = sys.run();
+                let dram = sys.ctrl().dram();
+                let deadlines: Vec<u64> = (0..cfg.dram.channels)
+                    .flat_map(|ch| {
+                        (0..cfg.dram.ranks_per_channel).map(move |rk| (ch, rk))
+                    })
+                    .map(|(ch, rk)| dram.refresh_deadline(ch, rk))
+                    .collect();
+                let s = dram.stats();
+                (
+                    run,
+                    sys.cycle(),
+                    deadlines,
+                    (s.activates, s.reads, s.writes, s.refreshes),
+                )
+            };
+            let a = arm(true);
+            let b = arm(false);
+            prop_assert_eq!(a.0, b.0);
+            prop_assert_eq!(a.1, b.1);
+            prop_assert_eq!(a.2, b.2);
+            prop_assert_eq!(a.3, b.3);
+            prop_assert!(a.3 .3 > 0, "run must span at least one refresh");
+            Ok(())
+        });
     }
 }
