@@ -11,6 +11,7 @@ set -eux
 cargo build --release --offline --locked --workspace
 cargo test -q --offline --locked --workspace
 cargo clippy --offline --locked --workspace -- -D warnings
+cargo fmt --all --check
 cargo check --benches --offline --locked --workspace
 # Benches run with the package dir as cwd, so hand them an absolute path.
 # One warmup + five timed iterations: enough for a meaningful per-bench
@@ -29,8 +30,12 @@ DBP_BENCH_ITERS=5 DBP_BENCH_WARMUP=1 DBP_BENCH_JSON="$(pwd)/BENCH_results.json" 
 # memo), not scheduling jitter.
 DBP_PERF_GATE=1 DBP_PERF_TOLERANCE=0.6 ./target/release/bench_all --perf-only \
     --baseline BENCH_baseline.json --bench-results BENCH_results.json \
-    --perf-out "$(pwd)/PERF_summary.json"
+    --perf-out "$(pwd)/PERF_summary.json" \
+    --history-append "$(pwd)/BENCH_history.jsonl"
 ./target/release/jsonlint --require-key benchmarks --require-key gate_passed PERF_summary.json
+# The longitudinal history grew by exactly one line, and that line is a
+# schema-stamped JSON object of this run's medians.
+tail -n 1 BENCH_history.jsonl | ./target/release/jsonlint --require-key medians
 
 # Telemetry smoke test: a tiny traced run must produce machine-readable
 # exports that the in-tree JSON parser accepts.
@@ -104,6 +109,25 @@ diff target/ci-latency.json target/ci-latency-repeat.json
 ./target/release/jsonlint --require-key interference < target/ci-latency.json
 ./target/release/dbpreport target/ci-latency.json > /dev/null
 ./target/release/dbpreport --md < target/ci-latency.json > /dev/null
+
+# Decision-audit gate. The shadow rack is observation-only and fully
+# deterministic: two identical seeded runs must export byte-identical
+# --audit-out JSON (on top of the property test that proves the
+# simulation itself is byte-identical with the rack attached vs
+# detached). Both jsonlint and the two renderers must accept the
+# document, as well as the committed full-fidelity audit.
+./target/release/dbpsim run --bench mcf,libquantum \
+    --instructions 30000 --warmup 10000 --epoch 20000 --policy dbp \
+    --audit-out target/ci-audit.json > /dev/null
+./target/release/dbpsim run --bench mcf,libquantum \
+    --instructions 30000 --warmup 10000 --epoch 20000 --policy dbp \
+    --audit-out target/ci-audit-repeat.json > /dev/null
+diff target/ci-audit.json target/ci-audit-repeat.json
+./target/release/jsonlint --require-key shadows --require-key convergence target/ci-audit.json
+./target/release/dbpaudit target/ci-audit.json > /dev/null
+./target/release/dbpaudit --md target/ci-audit.json > /dev/null
+./target/release/dbpreport target/ci-audit.json > /dev/null
+./target/release/dbpaudit results/diag_audit.json > /dev/null
 
 # Publish the rendered interference diagnostic (quick mode) as a CI
 # artifact next to BENCH_results.json / SUITE_timing.json.

@@ -17,6 +17,9 @@
 //! - `--bench-results <path>` — the current medians for the comparison
 //!   (a `DBP_BENCH_JSON` artifact; required with `--baseline`)
 //! - `--perf-out <path>` — write the comparison as a perf-summary JSON
+//! - `--history-append <path>` — append one schema-stamped JSON line
+//!   with this run's micro-bench medians to the longitudinal history
+//!   (`BENCH_history.jsonl`; requires `--bench-results`)
 //! - `--perf-only` — skip the experiment suite; just compare and gate
 //! - `--tolerance <frac>` (or `DBP_PERF_TOLERANCE`) — relative noise
 //!   tolerance for the comparison (default 0.35)
@@ -44,6 +47,7 @@ struct Opts {
     baseline: Option<String>,
     bench_results: Option<String>,
     perf_out: Option<String>,
+    history_append: Option<String>,
     perf_only: bool,
     tolerance: f64,
 }
@@ -51,7 +55,7 @@ struct Opts {
 fn usage() -> &'static str {
     "usage: bench_all [--quick] [--json <path>] [--profile-out <path>]\n\
      \x20                [--baseline <path> --bench-results <path>] [--perf-out <path>]\n\
-     \x20                [--perf-only] [--tolerance <frac>]\n\
+     \x20                [--history-append <path>] [--perf-only] [--tolerance <frac>]\n\
      \x20  (DBP_JOBS=n sets workers; DBP_PERF_GATE=1 makes regressions fatal)"
 }
 
@@ -63,6 +67,7 @@ fn parse_opts() -> Opts {
         baseline: None,
         bench_results: None,
         perf_out: None,
+        history_append: None,
         perf_only: false,
         tolerance: perf::tolerance_from_env(),
     };
@@ -81,6 +86,9 @@ fn parse_opts() -> Opts {
             "--baseline" => opts.baseline = Some(value("--baseline", &mut args)),
             "--bench-results" => opts.bench_results = Some(value("--bench-results", &mut args)),
             "--perf-out" => opts.perf_out = Some(value("--perf-out", &mut args)),
+            "--history-append" => {
+                opts.history_append = Some(value("--history-append", &mut args));
+            }
             "--perf-only" => opts.perf_only = true,
             "--tolerance" => {
                 let v = value("--tolerance", &mut args);
@@ -104,6 +112,10 @@ fn parse_opts() -> Opts {
     }
     if opts.baseline.is_some() && opts.bench_results.is_none() {
         eprintln!("bench_all: --baseline needs --bench-results <path> (the current medians)");
+        std::process::exit(2);
+    }
+    if opts.history_append.is_some() && opts.bench_results.is_none() {
+        eprintln!("bench_all: --history-append needs --bench-results <path> (the medians source)");
         std::process::exit(2);
     }
     if opts.perf_only && opts.baseline.is_none() {
@@ -210,8 +222,13 @@ fn run_suite(opts: &Opts) {
     );
 
     if let Some(path) = &opts.json_path {
-        let doc =
-            suite_timing_document(eng.workers(), opts.quick, total_ns, &rows, &eng.take_annotations());
+        let doc = suite_timing_document(
+            eng.workers(),
+            opts.quick,
+            total_ns,
+            &rows,
+            &eng.take_annotations(),
+        );
         write_or_die("suite timing JSON", path, &doc);
     }
     if let Some(path) = &opts.profile_out {
@@ -223,6 +240,42 @@ fn run_suite(opts: &Opts) {
             ("suite_wall_ns", Json::uint(total_ns as u64)),
         ]);
         write_or_die("self-profile JSON", path, &profile_document(&profile, summary));
+    }
+}
+
+/// Append this run's medians as one JSON line to the longitudinal
+/// history file. Append-only: history is a log, never rewritten.
+fn run_history_append(opts: &Opts) {
+    use std::io::Write;
+
+    let Some(path) = &opts.history_append else { return };
+    let results_path = opts.bench_results.as_deref().expect("checked in parse_opts");
+    let text = std::fs::read_to_string(results_path).unwrap_or_else(|e| {
+        eprintln!("bench_all: cannot read bench results {results_path}: {e}");
+        std::process::exit(1);
+    });
+    let doc = dbp_obs::json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_all: bench results {results_path} is not valid JSON: {e}");
+        std::process::exit(1);
+    });
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let line = perf::history_line(&doc, now).unwrap_or_else(|e| {
+        eprintln!("bench_all: bench results {results_path}: {e}");
+        std::process::exit(1);
+    });
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| writeln!(f, "{}", line.to_json()));
+    match appended {
+        Ok(()) => eprintln!("bench_all: appended bench history line to {path}"),
+        Err(e) => {
+            eprintln!("bench_all: cannot append bench history {path}: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -276,6 +329,7 @@ fn main() {
     if !opts.perf_only {
         run_suite(&opts);
     }
+    run_history_append(&opts);
     if run_perf_compare(&opts) {
         std::process::exit(1);
     }

@@ -1,0 +1,9 @@
+//! Diagnostic: decision audit — shadow policies, estimator accuracy,
+//! convergence (mix50-1).
+//!
+//! Run: `cargo run --release -p dbp-bench --bin diag_audit`
+//! (set `DBP_QUICK=1` for a fast, noisier version).
+
+fn main() {
+    dbp_bench::run_bin("diag_audit");
+}

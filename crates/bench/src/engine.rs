@@ -174,8 +174,9 @@ impl Engine {
     /// nested loop would produce them.
     pub fn run_grid(&self, cfg: &SimConfig, mixes: &[Mix], combos: &[Combo]) -> Vec<Vec<MixRun>> {
         let fp = runner::alone_fingerprint(cfg);
-        let solo_key =
-            |mix: &Mix, core: usize| (fp.clone(), mix.benchmarks[core], runner::seed_for(mix, core));
+        let solo_key = |mix: &Mix, core: usize| {
+            (fp.clone(), mix.benchmarks[core], runner::seed_for(mix, core))
+        };
 
         // Solo runs missing from the cache, deduplicated within the batch
         // (scaled mixes repeat (benchmark, seed) pairs across sweep rows).
@@ -244,9 +245,8 @@ impl Engine {
         mixes
             .iter()
             .map(|mix| {
-                let alone: Vec<f64> = (0..mix.cores())
-                    .map(|core| cache[&solo_key(mix, core)])
-                    .collect();
+                let alone: Vec<f64> =
+                    (0..mix.cores()).map(|core| cache[&solo_key(mix, core)]).collect();
                 combos
                     .iter()
                     .map(|_| {
@@ -424,11 +424,8 @@ mod tests {
         // Worker trees were flushed: the snapshot sees every job, with
         // the simulator's own spans nested under the shared runs.
         let p = prof.snapshot();
-        let shared = p
-            .spans
-            .iter()
-            .find(|s| s.name == "bench/shared_run")
-            .expect("shared-run span present");
+        let shared =
+            p.spans.iter().find(|s| s.name == "bench/shared_run").expect("shared-run span present");
         assert_eq!(shared.count, 2);
         assert!(shared.children.iter().any(|c| c.name == "sim/measure"));
         let solo = p.spans.iter().find(|s| s.name == "bench/solo_run").unwrap();

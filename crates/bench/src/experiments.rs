@@ -28,10 +28,7 @@ use crate::harness::{self, Combo};
 /// mixes per intensity category, to keep sweep runtimes tractable).
 pub fn sweep_mixes() -> Vec<Mix> {
     let all = mixes_4core();
-    [2, 5, 6, 9, 12, 13]
-        .into_iter()
-        .map(|i| all[i].clone())
-        .collect()
+    [2, 5, 6, 9, 12, 13].into_iter().map(|i| all[i].clone()).collect()
 }
 
 /// Table 1: the simulated system configuration.
@@ -39,35 +36,71 @@ pub fn table1_config(_eng: &Engine, cfg: &SimConfig) -> Table {
     let mut t = Table::new(["parameter", "value"]);
     let d = &cfg.dram;
     t.row(["cores", &format!("{} OoO-window, {}-wide, ROB {}", 4, cfg.core.width, cfg.core.rob)]);
-    t.row(["L1D", &format!("{} KiB, {}-way, {} B lines, {} cyc", cfg.hierarchy.l1.size_bytes >> 10, cfg.hierarchy.l1.ways, cfg.hierarchy.l1.line_bytes, cfg.hierarchy.l1.latency)]);
-    t.row(["L2 (private)", &format!("{} KiB, {}-way, {} cyc", cfg.hierarchy.l2.size_bytes >> 10, cfg.hierarchy.l2.ways, cfg.hierarchy.l2.latency)]);
+    t.row([
+        "L1D",
+        &format!(
+            "{} KiB, {}-way, {} B lines, {} cyc",
+            cfg.hierarchy.l1.size_bytes >> 10,
+            cfg.hierarchy.l1.ways,
+            cfg.hierarchy.l1.line_bytes,
+            cfg.hierarchy.l1.latency
+        ),
+    ]);
+    t.row([
+        "L2 (private)",
+        &format!(
+            "{} KiB, {}-way, {} cyc",
+            cfg.hierarchy.l2.size_bytes >> 10,
+            cfg.hierarchy.l2.ways,
+            cfg.hierarchy.l2.latency
+        ),
+    ]);
     t.row(["MSHRs", &cfg.mshrs.to_string()]);
-    t.row(["DRAM", &format!("DDR3, CL-tRCD-tRP {}-{}-{}", d.timing.cl, d.timing.t_rcd, d.timing.t_rp)]);
-    t.row(["channels x ranks x banks", &format!("{} x {} x {} = {} banks", d.channels, d.ranks_per_channel, d.banks_per_rank, d.total_banks())]);
+    t.row([
+        "DRAM",
+        &format!("DDR3, CL-tRCD-tRP {}-{}-{}", d.timing.cl, d.timing.t_rcd, d.timing.t_rp),
+    ]);
+    t.row([
+        "channels x ranks x banks",
+        &format!(
+            "{} x {} x {} = {} banks",
+            d.channels,
+            d.ranks_per_channel,
+            d.banks_per_rank,
+            d.total_banks()
+        ),
+    ]);
     t.row(["row buffer", &format!("{} KiB", d.row_bytes >> 10)]);
     t.row(["CPU:DRAM clock ratio", &format!("{}:1", cfg.cpu_per_dram)]);
-    t.row(["read/write queue", &format!("{}/{} per channel", cfg.ctrl.read_q_cap, cfg.ctrl.write_q_cap)]);
+    t.row([
+        "read/write queue",
+        &format!("{}/{} per channel", cfg.ctrl.read_q_cap, cfg.ctrl.write_q_cap),
+    ]);
     t.row(["page size", &format!("{} KiB", d.page_bytes >> 10)]);
     t.row(["colors", &format!("{}", d.total_banks())]);
     t.row(["repartition epoch", &format!("{} CPU cycles", cfg.epoch_cpu_cycles)]);
-    t.row(["migration", &format!("{:?}, budget {:?} pages/epoch", cfg.migration_mode, cfg.migration_budget_pages)]);
-    t.row(["warmup / measured instructions", &format!("{} / {}", cfg.warmup_instructions, cfg.target_instructions)]);
+    t.row([
+        "migration",
+        &format!("{:?}, budget {:?} pages/epoch", cfg.migration_mode, cfg.migration_budget_pages),
+    ]);
+    t.row([
+        "warmup / measured instructions",
+        &format!("{} / {}", cfg.warmup_instructions, cfg.target_instructions),
+    ]);
     t
 }
 
 /// Table 2: benchmark characteristics — calibration targets vs values
 /// measured running each benchmark alone (one pool job per benchmark).
 pub fn table2_benchmarks(eng: &Engine, cfg: &SimConfig) -> Table {
-    let mut t = Table::new([
-        "benchmark", "class", "MPKI*", "MPKI", "RBL*", "RBL", "BLP*", "BLP", "IPC",
-    ]);
+    let mut t =
+        Table::new(["benchmark", "class", "MPKI*", "MPKI", "RBL*", "RBL", "BLP*", "BLP", "IPC"]);
     let alone_cfg = harness::shared().apply(cfg);
-    let measured: Vec<ThreadResult> =
-        eng.par_map(profiles::PROFILES.iter().collect(), |p| {
-            let trace = SyntheticTrace::new(p, 42);
-            let mut sys = dbp_sim::System::new(alone_cfg.clone(), vec![Box::new(trace)]);
-            sys.run().threads[0]
-        });
+    let measured: Vec<ThreadResult> = eng.par_map(profiles::PROFILES.iter().collect(), |p| {
+        let trace = SyntheticTrace::new(p, 42);
+        let mut sys = dbp_sim::System::new(alone_cfg.clone(), vec![Box::new(trace)]);
+        sys.run().threads[0]
+    });
     for (p, th) in profiles::PROFILES.iter().zip(&measured) {
         t.row([
             p.name.to_owned(),
@@ -88,11 +121,7 @@ pub fn table2_benchmarks(eng: &Engine, cfg: &SimConfig) -> Table {
 pub fn table3_mixes() -> Table {
     let mut t = Table::new(["mix", "intensive", "benchmarks"]);
     for m in mixes_4core() {
-        t.row([
-            m.name.to_owned(),
-            format!("{}%", m.intensive_pct),
-            m.benchmarks.join(", "),
-        ]);
+        t.row([m.name.to_owned(), format!("{}%", m.intensive_pct), m.benchmarks.join(", ")]);
     }
     t
 }
@@ -100,15 +129,9 @@ pub fn table3_mixes() -> Table {
 /// Figure 1 (motivation): two applications co-running on a shared memory
 /// system slow each other down far beyond their bandwidth shares.
 pub fn fig1_motivation(eng: &Engine, cfg: &SimConfig) -> Table {
-    let mix = Mix {
-        name: "motivation",
-        intensive_pct: 100,
-        benchmarks: vec!["libquantum", "mcf"],
-    };
-    let run = eng
-        .run_grid(cfg, std::slice::from_ref(&mix), &[harness::shared()])
-        .remove(0)
-        .remove(0);
+    let mix = Mix { name: "motivation", intensive_pct: 100, benchmarks: vec!["libquantum", "mcf"] };
+    let run =
+        eng.run_grid(cfg, std::slice::from_ref(&mix), &[harness::shared()]).remove(0).remove(0);
     let mut t = Table::new(["benchmark", "IPC alone", "IPC shared", "slowdown"]);
     for (i, name) in mix.benchmarks.iter().enumerate() {
         t.row([
@@ -128,10 +151,8 @@ pub fn fig2_equal_blp_loss(eng: &Engine, cfg: &SimConfig) -> Table {
     let units = cfg.dram.banks_per_rank; // a unit spans all channels/ranks
     let names = ["mcf", "GemsFDTD", "libquantum"];
     let budgets = [1u32, 2, 4, units];
-    let jobs: Vec<(&'static str, u32)> = names
-        .iter()
-        .flat_map(|&n| budgets.into_iter().map(move |k| (n, k)))
-        .collect();
+    let jobs: Vec<(&'static str, u32)> =
+        names.iter().flat_map(|&n| budgets.into_iter().map(move |k| (n, k))).collect();
     let runs: Vec<(f64, f64)> = eng.par_map(jobs, |(name, k)| {
         let p = profiles::by_name(name);
         let mut c = cfg.clone();
@@ -163,16 +184,18 @@ pub fn fig2_equal_blp_loss(eng: &Engine, cfg: &SimConfig) -> Table {
 /// the empirically best budget found by sweeping.
 pub fn fig3_demand_estimation(eng: &Engine, cfg: &SimConfig) -> Table {
     let mut t = Table::new([
-        "benchmark", "measured BLP", "estimated units", "best units", "IPC@est/IPC@best",
+        "benchmark",
+        "measured BLP",
+        "estimated units",
+        "best units",
+        "IPC@est/IPC@best",
     ]);
     let est = BankDemandEstimator::new(EstimatorConfig::default());
     let units = cfg.dram.banks_per_rank;
     let names = ["mcf", "lbm", "libquantum", "milc", "omnetpp"];
     // k == 0 is the unrestricted measured run; 1..=units the budget sweep.
-    let jobs: Vec<(&'static str, u32)> = names
-        .iter()
-        .flat_map(|&n| (0..=units).map(move |k| (n, k)))
-        .collect();
+    let jobs: Vec<(&'static str, u32)> =
+        names.iter().flat_map(|&n| (0..=units).map(move |k| (n, k))).collect();
     let runs: Vec<ThreadResult> = eng.par_map(jobs, |(name, k)| {
         let p = profiles::by_name(name);
         let c = if k == 0 {
@@ -295,7 +318,13 @@ pub fn fig6_row_hits(eng: &Engine, cfg: &SimConfig) -> Table {
         eng,
         cfg,
         &mixes_4core(),
-        &[harness::shared(), harness::equal_bp(), harness::dbp(), harness::tcm(), harness::dbp_tcm()],
+        &[
+            harness::shared(),
+            harness::equal_bp(),
+            harness::dbp(),
+            harness::tcm(),
+            harness::dbp_tcm(),
+        ],
         |r| r.shared.row_hit_rate.max(1e-9),
         "RBH",
     )
@@ -332,8 +361,7 @@ pub fn fig8_vs_mcp(eng: &Engine, cfg: &SimConfig) -> (Table, Table) {
     let combos = [harness::mcp(), harness::dbp_tcm()];
     let ws =
         policy_comparison(eng, cfg, &mixes_4core(), &combos, |r| r.metrics.weighted_speedup, "WS");
-    let ms =
-        policy_comparison(eng, cfg, &mixes_4core(), &combos, |r| r.metrics.max_slowdown, "MS");
+    let ms = policy_comparison(eng, cfg, &mixes_4core(), &combos, |r| r.metrics.max_slowdown, "MS");
     (ws, ms)
 }
 
@@ -355,9 +383,7 @@ fn sweep_row(eng: &Engine, cfg: &SimConfig, mixes: &[Mix], combos: &[Combo]) -> 
 /// Figure 9: sensitivity to banks per channel (8/16/32 total banks).
 pub fn fig9_banks_sweep(eng: &Engine, cfg: &SimConfig) -> Table {
     let combos = [harness::shared(), harness::equal_bp(), harness::dbp()];
-    let mut t = Table::new([
-        "banks", "shared WS/MS", "equal-BP WS/MS", "DBP WS/MS",
-    ]);
+    let mut t = Table::new(["banks", "shared WS/MS", "equal-BP WS/MS", "DBP WS/MS"]);
     for banks in [4u32, 8, 16] {
         let mut c = cfg.clone();
         c.dram.banks_per_rank = banks;
@@ -374,9 +400,8 @@ pub fn fig9_banks_sweep(eng: &Engine, cfg: &SimConfig) -> Table {
 /// Figure 10: sensitivity to channel count (1/2/4).
 pub fn fig10_channels_sweep(eng: &Engine, cfg: &SimConfig) -> Table {
     let combos = [harness::shared(), harness::equal_bp(), harness::dbp(), harness::mcp()];
-    let mut t = Table::new([
-        "channels", "shared WS/MS", "equal-BP WS/MS", "DBP WS/MS", "MCP WS/MS",
-    ]);
+    let mut t =
+        Table::new(["channels", "shared WS/MS", "equal-BP WS/MS", "DBP WS/MS", "MCP WS/MS"]);
     for channels in [1u32, 2, 4] {
         let mut c = cfg.clone();
         c.dram.channels = channels;
@@ -516,9 +541,8 @@ pub fn abl3_migration(eng: &Engine, cfg: &SimConfig) -> Table {
 pub fn ext1_energy(eng: &Engine, cfg: &SimConfig) -> Table {
     let model = dbp_dram::EnergyModel::default();
     let combos = [harness::shared(), harness::equal_bp(), harness::dbp(), harness::dbp_tcm()];
-    let mut t = Table::new([
-        "policy", "activates/1k-reads", "accesses/ACT", "energy (mJ)", "nJ/byte",
-    ]);
+    let mut t =
+        Table::new(["policy", "activates/1k-reads", "accesses/ACT", "energy (mJ)", "nJ/byte"]);
     let mixes = sweep_mixes();
     let grid = eng.run_shared_grid(cfg, &mixes, &combos);
     for (ci, combo) in combos.iter().enumerate() {
@@ -639,27 +663,14 @@ pub fn diag_interference(eng: &Engine, cfg: &SimConfig) -> String {
     use dbp_obs::latency::latency_report_text;
     use dbp_obs::Json;
 
-    let mix = Mix {
-        name: "motivation",
-        intensive_pct: 100,
-        benchmarks: vec!["libquantum", "mcf"],
-    };
+    let mix = Mix { name: "motivation", intensive_pct: 100, benchmarks: vec!["libquantum", "mcf"] };
     let combos = [harness::shared(), harness::equal_bp(), harness::dbp()];
-    let runs = eng.par_map(
-        combos.iter().map(|combo| combo.apply(cfg)).collect(),
-        |run_cfg| dbp_sim::runner::run_shared_latency(&run_cfg, &mix),
-    );
+    let runs = eng.par_map(combos.iter().map(|combo| combo.apply(cfg)).collect(), |run_cfg| {
+        dbp_sim::runner::run_shared_latency(&run_cfg, &mix)
+    });
 
-    let mut headline = Table::new([
-        "policy",
-        "reads",
-        "mean",
-        "p50",
-        "p90",
-        "p99",
-        "bank x-core",
-        "bus x-core",
-    ]);
+    let mut headline =
+        Table::new(["policy", "reads", "mean", "p50", "p90", "p99", "bank x-core", "bus x-core"]);
     let mut out = String::new();
     let mut annotations = Vec::new();
     for (combo, (_, rep)) in combos.iter().zip(&runs) {
@@ -687,6 +698,114 @@ pub fn diag_interference(eng: &Engine, cfg: &SimConfig) -> String {
     );
     for (combo, (_, rep)) in combos.iter().zip(&runs) {
         out.push_str(&format!("\n--- {} ---\n{}", combo.label, latency_report_text(rep)));
+    }
+    out
+}
+
+/// Diagnostic: the policy decision audit for a standard 4-core mix.
+/// Each run carries the shadow rack (equal-BP, MCP, and a doubled-alpha
+/// DBP ablation) in observation-only mode, so one table answers three
+/// questions at once: how far the live policy's allocations sit from its
+/// rivals' (and what adopting a rival would cost in page migrations),
+/// how well the bank-demand estimator's predictions match the BLP each
+/// thread then achieves, and how quickly the live allocation converges
+/// after warmup and after profile-phase shifts.
+///
+/// Runs the audit under live DBP and live equal-BP: the latter is the
+/// control — a static policy must show zero churn and a DBP shadow that
+/// keeps its distance.
+///
+/// Also publishes a machine-readable summary per live policy as a
+/// `bench_all --json` annotation (`diag_audit`). The full audit document
+/// for the DBP run is produced by `dbpsim run --mix mix50-1 --audit-out`
+/// and rendered by `dbpaudit` (see `results/diag_audit.json`).
+pub fn diag_audit(eng: &Engine, cfg: &SimConfig) -> String {
+    use dbp_obs::audit::{
+        calibration_table, convergence_summary, phase_shift_table, policy_table, prediction_table,
+    };
+    use dbp_obs::Json;
+
+    let mix = mixes_4core().into_iter().find(|m| m.name == "mix50-1").expect("mix50-1 registered");
+    let combos = [harness::dbp(), harness::equal_bp()];
+    let runs = eng.par_map(combos.iter().map(|combo| combo.apply(cfg)).collect(), |run_cfg| {
+        dbp_sim::runner::run_shared_audited(&run_cfg, &mix)
+    });
+
+    let mut headline = Table::new([
+        "live policy",
+        "decisions",
+        "flap rate",
+        "to-stable",
+        "|pred err|",
+        "closest shadow",
+    ]);
+    let mut annotations = Vec::new();
+    for (combo, (_, rep)) in combos.iter().zip(&runs) {
+        let samples: u64 = rep.prediction.iter().map(|p| p.samples).sum();
+        let abs_err = if samples == 0 {
+            f64::NAN
+        } else {
+            rep.prediction.iter().map(|p| p.mean_abs_err * p.samples as f64).sum::<f64>()
+                / samples as f64
+        };
+        let closest = rep
+            .shadows
+            .iter()
+            .min_by(|a, b| a.mean_distance.total_cmp(&b.mean_distance))
+            .expect("standard rack is non-empty");
+        headline.row([
+            combo.label.to_owned(),
+            rep.convergence.decisions.to_string(),
+            format!("{:.3}", rep.convergence.flap_rate),
+            match rep.convergence.epochs_to_stable {
+                Some(n) => n.to_string(),
+                None => "-".to_owned(),
+            },
+            format!("{abs_err:.2}"),
+            format!("{} ({:.1})", closest.name, closest.mean_distance),
+        ]);
+        annotations.push((
+            combo.label.to_owned(),
+            Json::obj([
+                ("decisions", Json::uint(rep.convergence.decisions)),
+                ("flap_rate", Json::num(rep.convergence.flap_rate)),
+                (
+                    "epochs_to_stable",
+                    rep.convergence.epochs_to_stable.map_or(Json::Null, Json::uint),
+                ),
+                ("mean_abs_pred_error", Json::num(abs_err)),
+                (
+                    "shadow_mean_distance",
+                    Json::Obj(
+                        rep.shadows
+                            .iter()
+                            .map(|s| (s.name.clone(), Json::num(s.mean_distance)))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ));
+    }
+    eng.annotate("diag_audit", Json::Obj(annotations));
+
+    let mut out = String::new();
+    out.push_str(&headline.to_string());
+    out.push_str(
+        "(flap rate = A>B>A allocation toggles per thread-decision; to-stable =\n \
+         decisions from measurement start until 3 unchanged in a row; |pred err| in\n \
+         bank units; closest shadow = smallest mean allocation distance to live)\n",
+    );
+    for (combo, (_, rep)) in combos.iter().zip(&runs) {
+        out.push_str(&format!("\n--- live {} ---\n", combo.label));
+        out.push_str(&policy_table(rep).to_string());
+        out.push_str(&prediction_table(rep).to_string());
+        out.push_str(&calibration_table(rep).to_string());
+        let shifts = phase_shift_table(rep);
+        if !shifts.is_empty() {
+            out.push_str(&shifts.to_string());
+        }
+        out.push_str(&convergence_summary(rep));
+        out.push('\n');
     }
     out
 }
@@ -839,6 +958,11 @@ pub fn all() -> Vec<Experiment> {
             title: "Diagnostic: latency anatomy & interference attribution (Fig. 1 mix, shared vs equal-BP vs DBP)",
             render: diag_interference,
         },
+        Experiment {
+            name: "diag_audit",
+            title: "Diagnostic: decision audit - shadow policies, estimator accuracy, convergence (mix50-1)",
+            render: diag_audit,
+        },
     ]
 }
 
@@ -912,7 +1036,7 @@ mod tests {
     #[test]
     fn registry_names_match_binaries_and_are_unique() {
         let exps = all();
-        assert_eq!(exps.len(), 22);
+        assert_eq!(exps.len(), 23);
         let mut names: Vec<_> = exps.iter().map(|e| e.name).collect();
         names.sort_unstable();
         let n = names.len();
@@ -929,7 +1053,7 @@ mod tests {
         // the latency-anatomy path: per-cycle attribution and histogram
         // merges must not depend on worker scheduling.
         let cfg = smoke_cfg();
-        for name in ["fig1_motivation", "diag_interference"] {
+        for name in ["fig1_motivation", "diag_interference", "diag_audit"] {
             let exp = all().into_iter().find(|e| e.name == name).expect("registered");
             let serial = (exp.render)(&Engine::with_workers(1), &cfg);
             let parallel = (exp.render)(&Engine::with_workers(4), &cfg);
@@ -945,24 +1069,17 @@ mod tests {
     #[test]
     fn diag_interference_matrix_sanity() {
         let cfg = smoke_cfg();
-        let mix = Mix {
-            name: "motivation",
-            intensive_pct: 100,
-            benchmarks: vec!["libquantum", "mcf"],
-        };
-        let report_for = |combo: Combo| {
-            dbp_sim::runner::run_shared_latency(&combo.apply(&cfg), &mix).1
-        };
+        let mix =
+            Mix { name: "motivation", intensive_pct: 100, benchmarks: vec!["libquantum", "mcf"] };
+        let report_for =
+            |combo: Combo| dbp_sim::runner::run_shared_latency(&combo.apply(&cfg), &mix).1;
         let shared = report_for(harness::shared());
         let equal = report_for(harness::equal_bp());
         let dbp = report_for(harness::dbp());
 
         assert!(shared.total_reads() > 0 && equal.total_reads() > 0 && dbp.total_reads() > 0);
         let shared_bank = shared.bank_interference.off_diagonal_sum();
-        assert!(
-            shared_bank > 0,
-            "unpartitioned banks must show cross-core bank interference"
-        );
+        assert!(shared_bank > 0, "unpartitioned banks must show cross-core bank interference");
         assert_eq!(
             equal.bank_interference.off_diagonal_sum(),
             0,

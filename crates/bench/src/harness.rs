@@ -24,11 +24,7 @@ impl Combo {
 
 /// FR-FCFS on a fully shared memory system (the conventional baseline).
 pub fn shared() -> Combo {
-    Combo {
-        label: "FRFCFS",
-        scheduler: SchedulerKind::FrFcfs,
-        policy: PolicyKind::Unpartitioned,
-    }
+    Combo { label: "FRFCFS", scheduler: SchedulerKind::FrFcfs, policy: PolicyKind::Unpartitioned }
 }
 
 /// Static equal bank partitioning.

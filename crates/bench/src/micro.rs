@@ -47,12 +47,8 @@ fn bench_dram_commands(r: &mut Runner) {
 }
 
 fn filled_controller(sched: Box<dyn dbp_memctrl::Scheduler>) -> MemoryController {
-    let mut mc = MemoryController::new(
-        Dram::new(DramConfig::fast_test()),
-        CtrlConfig::default(),
-        sched,
-        4,
-    );
+    let mut mc =
+        MemoryController::new(Dram::new(DramConfig::fast_test()), CtrlConfig::default(), sched, 4);
     for i in 0..32u64 {
         mc.enqueue(MemRequest::demand_read(i, (i % 4) as usize, i * 4096, 0));
     }

@@ -104,6 +104,56 @@ pub fn parse_floors(doc: &Json) -> Result<Vec<(String, u64)>, String> {
         .collect()
 }
 
+/// Extract `(name, median_ns)` pairs from a bench-results document —
+/// the statistic the longitudinal history tracks (medians summarise a
+/// run; floors feed the regression gate).
+///
+/// # Errors
+///
+/// Returns a message when the document lacks a `benchmarks` array or an
+/// entry lacks a string `name` / numeric `median_ns`.
+pub fn parse_medians(doc: &Json) -> Result<Vec<(String, u64)>, String> {
+    let benches = doc
+        .get("benchmarks")
+        .and_then(Json::as_arr)
+        .ok_or("bench document has no `benchmarks` array")?;
+    benches
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let name = b
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("benchmarks[{i}] has no string `name`"))?;
+            let med = b
+                .get("median_ns")
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("benchmarks[{i}] ({name}) has no numeric `median_ns`"))?;
+            Ok((name.to_owned(), med as u64))
+        })
+        .collect()
+}
+
+/// Build one schema-stamped line of `BENCH_history.jsonl` from a
+/// bench-results document: the run's medians keyed by benchmark name,
+/// plus the caller-supplied wall-clock second. One JSON object per CI
+/// run — `tail`/`jq`-friendly, and each line self-describes its schema
+/// so old history survives format evolution.
+///
+/// # Errors
+///
+/// Propagates [`parse_medians`] errors.
+pub fn history_line(doc: &Json, unix_time_s: u64) -> Result<Json, String> {
+    let medians = parse_medians(doc)?;
+    Ok(Json::obj([
+        ("format_version", Json::uint(dbp_obs::export::FORMAT_VERSION)),
+        ("schema_version", Json::str(dbp_obs::export::SCHEMA_VERSION)),
+        ("unix_time_s", Json::uint(unix_time_s)),
+        ("benchmarks", Json::uint(medians.len() as u64)),
+        ("medians", Json::Obj(medians.into_iter().map(|(n, m)| (n, Json::uint(m))).collect())),
+    ]))
+}
+
 /// Compare current floors against a baseline with a relative
 /// `tolerance`. Rows come out in baseline order, then current-only
 /// (`new`) entries in current order — so the delta table is stable
@@ -113,9 +163,8 @@ pub fn compare(
     current: &[(String, u64)],
     tolerance: f64,
 ) -> Vec<PerfRow> {
-    let med = |set: &[(String, u64)], name: &str| {
-        set.iter().find(|(n, _)| n == name).map(|&(_, m)| m)
-    };
+    let med =
+        |set: &[(String, u64)], name: &str| set.iter().find(|(n, _)| n == name).map(|&(_, m)| m);
     let mut rows: Vec<PerfRow> = baseline
         .iter()
         .map(|(name, base)| match med(current, name) {
@@ -172,9 +221,8 @@ pub fn delta_table(rows: &[PerfRow]) -> Table {
     let mut t = Table::new(["benchmark", "baseline", "current", "delta", "status"]);
     t.align_left(0).align_left(4);
     for r in rows {
-        let delta = r
-            .ratio
-            .map_or_else(|| "-".to_owned(), |q| format!("{:+.1}%", (q - 1.0) * 100.0));
+        let delta =
+            r.ratio.map_or_else(|| "-".to_owned(), |q| format!("{:+.1}%", (q - 1.0) * 100.0));
         t.row([
             r.name.clone(),
             fmt_side(r.baseline_ns),
@@ -294,6 +342,34 @@ mod tests {
         assert_eq!(floors.len(), 1);
         assert_eq!(floors[0].0, "spin");
         assert!(parse_floors(&Json::obj([("nope", Json::uint(1))])).is_err());
+    }
+
+    #[test]
+    fn history_line_is_schema_stamped_and_keyed_by_name() {
+        let doc = Json::obj([(
+            "benchmarks",
+            Json::arr([
+                Json::obj([("name", Json::str("a")), ("median_ns", Json::uint(120))]),
+                Json::obj([("name", Json::str("b")), ("median_ns", Json::uint(7))]),
+            ]),
+        )]);
+        let line = history_line(&doc, 1_700_000_000).unwrap();
+        assert_eq!(line.get("unix_time_s").and_then(Json::as_num), Some(1.7e9));
+        assert_eq!(line.get("benchmarks").and_then(Json::as_num), Some(2.0));
+        assert_eq!(
+            line.get("medians").and_then(|m| m.get("a")).and_then(Json::as_num),
+            Some(120.0)
+        );
+        assert!(line.get("schema_version").is_some());
+        // The line must survive its own serialisation (what CI appends).
+        let reparsed = dbp_obs::json::parse(&line.to_json()).unwrap();
+        assert_eq!(reparsed, line);
+        // Medians are required: a floors-only document is an error.
+        let floors_only = Json::obj([(
+            "benchmarks",
+            Json::arr([Json::obj([("name", Json::str("a")), ("min_ns", Json::uint(9))])]),
+        )]);
+        assert!(history_line(&floors_only, 0).is_err());
     }
 
     #[test]

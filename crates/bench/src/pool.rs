@@ -67,9 +67,7 @@ where
     slots
         .into_iter()
         .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker completed every job")
+            slot.into_inner().expect("result slot poisoned").expect("worker completed every job")
         })
         .collect()
 }

@@ -172,9 +172,7 @@ impl Cache {
     pub fn probe(&self, pa: u64) -> bool {
         let tag = self.tag_of(pa);
         let base = self.set_of(pa);
-        self.lines[base..base + self.cfg.ways as usize]
-            .iter()
-            .any(|l| l.valid && l.tag == tag)
+        self.lines[base..base + self.cfg.ways as usize].iter().any(|l| l.valid && l.tag == tag)
     }
 
     /// Invalidate `pa`'s line if present, returning the line-aligned

@@ -50,10 +50,7 @@ impl Hierarchy {
     ///
     /// Panics if either level's geometry is invalid or line sizes differ.
     pub fn new(cfg: HierarchyConfig) -> Self {
-        assert_eq!(
-            cfg.l1.line_bytes, cfg.l2.line_bytes,
-            "L1 and L2 must share a line size"
-        );
+        assert_eq!(cfg.l1.line_bytes, cfg.l2.line_bytes, "L1 and L2 must share a line size");
         Hierarchy { l1: Cache::new(cfg.l1), l2: Cache::new(cfg.l2) }
     }
 
@@ -81,17 +78,9 @@ impl Hierarchy {
             writebacks.push(wb);
         }
         if l2_out.hit {
-            HierarchyAccess {
-                level: AccessLevel::L2Hit,
-                latency: l1_lat + l2_lat,
-                writebacks,
-            }
+            HierarchyAccess { level: AccessLevel::L2Hit, latency: l1_lat + l2_lat, writebacks }
         } else {
-            HierarchyAccess {
-                level: AccessLevel::MemoryMiss,
-                latency: l1_lat + l2_lat,
-                writebacks,
-            }
+            HierarchyAccess { level: AccessLevel::MemoryMiss, latency: l1_lat + l2_lat, writebacks }
         }
     }
 
@@ -184,7 +173,7 @@ mod tests {
         h.access(0, true);
         h.access(256, false); // L1 set-mate
         h.access(512, false); // evicts dirty 0 from L1 -> L2 (dirty)
-        // Now flood the L2 set of address 0 with 4 fresh lines.
+                              // Now flood the L2 set of address 0 with 4 fresh lines.
         let mut wrote_back = false;
         for i in 1..=4u64 {
             let a = h.access(i * 1024, false);

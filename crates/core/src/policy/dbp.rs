@@ -79,11 +79,7 @@ impl Dbp {
 
     fn classify_intensive(&mut self, t: usize, profile: &ThreadMemProfile) -> bool {
         let (enter, leave) = (self.cfg.low_mpki * 1.25, self.cfg.low_mpki * 0.75);
-        let now = if self.was_intensive[t] {
-            profile.mpki >= leave
-        } else {
-            profile.mpki >= enter
-        };
+        let now = if self.was_intensive[t] { profile.mpki >= leave } else { profile.mpki >= enter };
         self.was_intensive[t] = now;
         now
     }
@@ -244,11 +240,8 @@ impl PartitionPolicy for Dbp {
             })
             .collect();
         if !calm.is_empty() {
-            let calm_max = calm
-                .iter()
-                .map(|&t| self.est.demand(&profiles[t], units))
-                .max()
-                .unwrap_or(1);
+            let calm_max =
+                calm.iter().map(|&t| self.est.demand(&profiles[t], units)).max().unwrap_or(1);
             demands.push(calm_max.max(self.cfg.calm_group_floor));
         }
         let mut counts = Self::water_fill(units, &demands);
@@ -269,8 +262,8 @@ impl PartitionPolicy for Dbp {
         // pages, while a genuine demand shift is adopted one epoch late.
         if prev.is_some() {
             let prev_counts: Vec<u32> = prev_units.iter().map(|u| u.len() as u32).collect();
-            let fits = prev_counts.iter().sum::<u32>() == units
-                && prev_counts.iter().all(|&c| c >= 1);
+            let fits =
+                prev_counts.iter().sum::<u32>() == units && prev_counts.iter().all(|&c| c >= 1);
             if fits && counts != prev_counts {
                 if self.pending_counts.as_ref() == Some(&counts) {
                     self.pending_counts = None; // confirmed: adopt
@@ -349,11 +342,7 @@ mod tests {
     #[test]
     fn high_blp_thread_gets_more_banks() {
         let mut dbp = Dbp::new(DbpConfig::default());
-        let plan = dbp.partition(
-            &[intensive(6.0, 0.2), intensive(1.2, 0.95)],
-            &topo(),
-            None,
-        );
+        let plan = dbp.partition(&[intensive(6.0, 0.2), intensive(1.2, 0.95)], &topo(), None);
         assert!(plan[0].len() > plan[1].len());
         assert!(plan[0].is_disjoint(&plan[1]));
         assert!(dbp.last_demands()[0] > dbp.last_demands()[1]);
@@ -364,17 +353,10 @@ mod tests {
         // The streaming thread's demand (~2 units) must be satisfied, not
         // squeezed to 1 by the hungry thread.
         let mut dbp = Dbp::new(DbpConfig::default());
-        let plan = dbp.partition(
-            &[intensive(8.0, 0.2), intensive(1.0, 0.95)],
-            &topo(),
-            None,
-        );
+        let plan = dbp.partition(&[intensive(8.0, 0.2), intensive(1.0, 0.95)], &topo(), None);
         let streaming_units = topo().units_of(&plan[1]).len();
         assert!(streaming_units >= 1);
-        assert_eq!(
-            topo().units_of(&plan[0]).len() + streaming_units,
-            topo().units() as usize
-        );
+        assert_eq!(topo().units_of(&plan[0]).len() + streaming_units, topo().units() as usize);
     }
 
     #[test]
@@ -397,12 +379,7 @@ mod tests {
     #[test]
     fn plan_covers_all_units_disjointly() {
         let mut dbp = Dbp::new(DbpConfig::default());
-        let profs = [
-            intensive(6.0, 0.2),
-            intensive(3.0, 0.4),
-            intensive(2.0, 0.6),
-            calm(),
-        ];
+        let profs = [intensive(6.0, 0.2), intensive(3.0, 0.4), intensive(2.0, 0.6), calm()];
         let plan = dbp.partition(&profs, &topo(), None);
         for i in 0..3 {
             for j in i + 1..4 {

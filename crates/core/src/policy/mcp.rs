@@ -190,11 +190,8 @@ mod tests {
     #[test]
     fn separates_streaming_from_random_intensive() {
         let mut mcp = ChannelPartitioning::new(McpConfig::default());
-        let plan = mcp.partition(
-            &[prof(30.0, 0.2, 100_000), prof(25.0, 0.9, 100_000)],
-            &topo(),
-            None,
-        );
+        let plan =
+            mcp.partition(&[prof(30.0, 0.2, 100_000), prof(25.0, 0.9, 100_000)], &topo(), None);
         assert!(plan[0].is_disjoint(&plan[1]), "conflicting groups share no channel");
         assert_eq!(plan[0].len(), 16); // one full channel each
         assert_eq!(plan[1].len(), 16);
@@ -263,11 +260,7 @@ mod tests {
         let mut mcp = ChannelPartitioning::new(McpConfig::default());
         let four_ch = ColorTopology::new(4, 1, 8);
         let plan = mcp.partition(
-            &[
-                prof(40.0, 0.2, 300_000),
-                prof(35.0, 0.1, 300_000),
-                prof(20.0, 0.9, 50_000),
-            ],
+            &[prof(40.0, 0.2, 300_000), prof(35.0, 0.1, 300_000), prof(20.0, 0.9, 50_000)],
             &four_ch,
             None,
         );

@@ -92,10 +92,8 @@ pub(crate) fn proportional_alloc(total: u32, demands: &[f64]) -> Vec<u32> {
     assert!(n > 0, "no takers");
     assert!(n as u32 <= total, "more takers ({n}) than units ({total})");
     let sum: f64 = demands.iter().sum::<f64>().max(f64::MIN_POSITIVE);
-    let mut alloc: Vec<u32> = demands
-        .iter()
-        .map(|d| (((total as f64) * d / sum).floor() as u32).max(1))
-        .collect();
+    let mut alloc: Vec<u32> =
+        demands.iter().map(|d| (((total as f64) * d / sum).floor() as u32).max(1)).collect();
     let mut s: u32 = alloc.iter().sum();
     while s > total {
         // Reclaim from the taker with the most units (keep the minimum 1).

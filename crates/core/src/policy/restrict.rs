@@ -42,14 +42,9 @@ impl PartitionPolicy for RestrictFirst {
     ) -> Vec<ColorSet> {
         let k = self.units.min(topo.units());
         let first = topo.units_colors(0..k);
-        let rest = if k < topo.units() {
-            topo.units_colors(k..topo.units())
-        } else {
-            topo.all_colors()
-        };
-        (0..profiles.len())
-            .map(|t| if t == 0 { first } else { rest })
-            .collect()
+        let rest =
+            if k < topo.units() { topo.units_colors(k..topo.units()) } else { topo.all_colors() };
+        (0..profiles.len()).map(|t| if t == 0 { first } else { rest }).collect()
     }
 }
 

@@ -23,10 +23,7 @@ impl ColorTopology {
         for (name, v) in [("channels", channels), ("ranks", ranks), ("banks", banks)] {
             assert!(v > 0 && v.is_power_of_two(), "{name} must be a positive power of two");
         }
-        assert!(
-            channels * ranks * banks <= ColorSet::MAX_COLORS,
-            "too many colors for ColorSet"
-        );
+        assert!(channels * ranks * banks <= ColorSet::MAX_COLORS, "too many colors for ColorSet");
         ColorTopology { channels, ranks, banks }
     }
 
@@ -129,7 +126,13 @@ mod tests {
         for ch in 0..cfg.channels {
             for ra in 0..cfg.ranks_per_channel {
                 for ba in 0..cfg.banks_per_rank {
-                    let d = dbp_dram::DecodedAddr { channel: ch, rank: ra, bank: ba, row: 0, column: 0 };
+                    let d = dbp_dram::DecodedAddr {
+                        channel: ch,
+                        rank: ra,
+                        bank: ba,
+                        row: 0,
+                        column: 0,
+                    };
                     assert_eq!(topo.color(ch, ra, ba), mapper.color_of(&d));
                 }
             }
@@ -152,9 +155,8 @@ mod tests {
         let topo = ColorTopology::new(2, 1, 8);
         // Every unit spans both channels, so any range is balanced.
         let s = topo.units_colors(2..6);
-        let per_channel: Vec<u32> = (0..2)
-            .map(|ch| topo.channel_colors(ch).intersection(&s).len())
-            .collect();
+        let per_channel: Vec<u32> =
+            (0..2).map(|ch| topo.channel_colors(ch).intersection(&s).len()).collect();
         assert_eq!(per_channel, vec![4, 4]);
     }
 

@@ -296,9 +296,8 @@ impl Core {
                 }
                 Some(front) => {
                     debug_assert!(front.seq > self.retired);
-                    let n = budget
-                        .min(front.seq - self.retired)
-                        .min(self.dispatched - self.retired);
+                    let n =
+                        budget.min(front.seq - self.retired).min(self.dispatched - self.retired);
                     self.retired += n;
                     budget -= n;
                 }
@@ -501,10 +500,7 @@ mod tests {
         assert_eq!(c.idle_state(), IdleState::Active, "fresh core fetches");
         let mut mem = |_a: u64, _w: bool, _id: u64| MemIssue::Retry;
         c.tick(0, &mut mem);
-        assert_eq!(
-            c.idle_state(),
-            IdleState::Blocked { timer: None, mem_poll: Some((64, false)) }
-        );
+        assert_eq!(c.idle_state(), IdleState::Blocked { timer: None, mem_poll: Some((64, false)) });
 
         // Window full of pending loads: Blocked with no poll.
         let src = ReplaySource::new(vec![TraceOp { gap: 0, addr: 64, is_write: false }]);
@@ -531,7 +527,11 @@ mod tests {
             let mut c = Core::new(CoreConfig { rob, width: 4 }, Box::new(src));
             // mode 0: park on Retry; mode 1: fill the window with Pending.
             let mut mem = |_a: u64, _w: bool, _id: u64| {
-                if mode == 0 { MemIssue::Retry } else { MemIssue::Pending }
+                if mode == 0 {
+                    MemIssue::Retry
+                } else {
+                    MemIssue::Pending
+                }
             };
             for now in 0..4 {
                 c.tick(now, &mut mem);
@@ -543,7 +543,11 @@ mod tests {
             let mut stepped = build(mode);
             let mut skipped = build(mode);
             let mut mem = |_a: u64, _w: bool, _id: u64| {
-                if mode == 0 { MemIssue::Retry } else { MemIssue::Pending }
+                if mode == 0 {
+                    MemIssue::Retry
+                } else {
+                    MemIssue::Pending
+                }
             };
             for now in 4..104 {
                 stepped.tick(now, &mut mem);
@@ -557,8 +561,7 @@ mod tests {
     #[test]
     fn forward_matches_stepped_compute() {
         let mk = || {
-            let src =
-                ReplaySource::new(vec![TraceOp { gap: 37, addr: 64, is_write: false }]);
+            let src = ReplaySource::new(vec![TraceOp { gap: 37, addr: 64, is_write: false }]);
             Core::new(CoreConfig { rob: 32, width: 4 }, Box::new(src))
         };
         let mut mem = |_: u64, _: bool, _: u64| MemIssue::Done { latency: 3 };
@@ -622,10 +625,7 @@ mod prop_tests {
         width: u32,
         latencies: &[u32],
     ) -> CaseResult {
-        let mut core = Core::new(
-            CoreConfig { rob, width },
-            Box::new(ReplaySource::new(trace)),
-        );
+        let mut core = Core::new(CoreConfig { rob, width }, Box::new(ReplaySource::new(trace)));
         let mut k = 0usize;
         let mut pending: Vec<u64> = Vec::new();
         let mut last_retired = 0;
@@ -662,12 +662,7 @@ mod prop_tests {
 
     #[test]
     fn window_invariants_hold() {
-        let g = (
-            arb_trace(),
-            range(1u64..64),
-            range(1u32..8),
-            vec_of(range(0u32..400), 8..9),
-        );
+        let g = (arb_trace(), range(1u64..64), range(1u32..8), vec_of(range(0u32..400), 8..9));
         check(Config::cases(64), &g, |(trace, rob, width, latencies)| {
             window_invariants(trace, rob, width, &latencies)
         });
@@ -679,13 +674,8 @@ mod prop_tests {
     /// instant memory.
     #[test]
     fn regression_single_store_minimal_window() {
-        window_invariants(
-            vec![TraceOp { gap: 0, addr: 0, is_write: true }],
-            1,
-            1,
-            &[0; 8],
-        )
-        .unwrap();
+        window_invariants(vec![TraceOp { gap: 0, addr: 0, is_write: true }], 1, 1, &[0; 8])
+            .unwrap();
     }
 
     /// With every access hitting instantly, IPC approaches the width.
@@ -693,10 +683,8 @@ mod prop_tests {
     fn ideal_memory_reaches_peak_ipc() {
         check(Config::cases(64), &range(1u32..6), |width| {
             let trace = vec![TraceOp { gap: 10, addr: 64, is_write: false }];
-            let mut core = Core::new(
-                CoreConfig { rob: 256, width },
-                Box::new(ReplaySource::new(trace)),
-            );
+            let mut core =
+                Core::new(CoreConfig { rob: 256, width }, Box::new(ReplaySource::new(trace)));
             let mut mem = |_a: u64, _w: bool, _id: u64| MemIssue::Done { latency: 0 };
             let cycles = 2000u64;
             for now in 0..cycles {

@@ -151,13 +151,7 @@ impl AddressMapper {
         let col_high = Self::take(&mut a, self.col_high_bits);
         let row = Self::take(&mut a, self.row_bits);
         let bank = self.permute_bank(bank, row);
-        DecodedAddr {
-            channel,
-            rank,
-            bank,
-            row,
-            column: (col_high << self.col_low_bits) | col_low,
-        }
+        DecodedAddr { channel, rank, bank, row, column: (col_high << self.col_low_bits) | col_low }
     }
 
     /// Reassemble a physical byte address (with a zero burst offset) from
@@ -187,9 +181,7 @@ impl AddressMapper {
 
     fn permute_bank(&self, bank: u32, row: u32) -> u32 {
         match self.scheme {
-            MappingScheme::PermutedPageColoring => {
-                bank ^ (row & ((1 << self.bank_bits) - 1))
-            }
+            MappingScheme::PermutedPageColoring => bank ^ (row & ((1 << self.bank_bits) - 1)),
             _ => bank,
         }
     }
@@ -235,10 +227,7 @@ mod tests {
     use super::*;
 
     fn cfg(scheme: MappingScheme) -> DramConfig {
-        DramConfig {
-            mapping: scheme,
-            ..DramConfig::default()
-        }
+        DramConfig { mapping: scheme, ..DramConfig::default() }
     }
 
     #[test]
@@ -299,20 +288,9 @@ mod tests {
         let c = cfg(MappingScheme::PermutedPageColoring);
         let m = AddressMapper::new(&c);
         // Same bank field, different rows -> different effective banks.
-        let a0 = m.decode(m.encode(&DecodedAddr {
-            channel: 0,
-            rank: 0,
-            bank: 0,
-            row: 0,
-            column: 0,
-        }));
-        let mut pa1 = DecodedAddr {
-            channel: 0,
-            rank: 0,
-            bank: 0,
-            row: 1,
-            column: 0,
-        };
+        let a0 =
+            m.decode(m.encode(&DecodedAddr { channel: 0, rank: 0, bank: 0, row: 0, column: 0 }));
+        let mut pa1 = DecodedAddr { channel: 0, rank: 0, bank: 0, row: 1, column: 0 };
         // encode/decode of an effective-bank coordinate must round-trip.
         pa1 = m.decode(m.encode(&pa1));
         assert_eq!(a0.bank, 0);
@@ -345,13 +323,7 @@ mod tests {
         let m = AddressMapper::new(&cfg(MappingScheme::PageColoring));
         for color in 0..m.num_colors() {
             let (ch, ra, ba) = m.color_parts(color);
-            let d = DecodedAddr {
-                channel: ch,
-                rank: ra,
-                bank: ba,
-                row: 0,
-                column: 0,
-            };
+            let d = DecodedAddr { channel: ch, rank: ra, bank: ba, row: 0, column: 0 };
             assert_eq!(m.color_of(&d), color);
         }
     }

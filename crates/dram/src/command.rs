@@ -49,7 +49,14 @@ impl Command {
     ///
     /// The `row` argument is accepted for call-site readability but only
     /// checked by the device (the read targets whatever row is open).
-    pub fn read(channel: u32, rank: u32, bank: u32, _row: u32, column: u32, auto_pre: bool) -> Self {
+    pub fn read(
+        channel: u32,
+        rank: u32,
+        bank: u32,
+        _row: u32,
+        column: u32,
+        auto_pre: bool,
+    ) -> Self {
         Command::Read { loc: Loc::new(channel, rank, bank), column, auto_pre }
     }
 

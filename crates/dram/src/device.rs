@@ -40,9 +40,9 @@ pub struct Dram {
     cfg: DramConfig,
     mapper: AddressMapper,
     channels: Vec<ChannelState>,
-    ranks: Vec<RankState>,        // [channel * ranks + rank]
-    banks: Vec<BankState>,        // [(channel * ranks + rank) * banks + bank]
-    refresh_due: Vec<Cycle>,      // per rank, absolute deadline of next REF
+    ranks: Vec<RankState>,   // [channel * ranks + rank]
+    banks: Vec<BankState>,   // [(channel * ranks + rank) * banks + bank]
+    refresh_due: Vec<Cycle>, // per rank, absolute deadline of next REF
     stats: DramStats,
     /// Host-profiling work counter: timing-oracle queries
     /// ([`Dram::earliest_issue`] / [`Dram::can_issue`] /
@@ -104,8 +104,7 @@ impl Dram {
     }
 
     fn bank_idx(&self, loc: Loc) -> usize {
-        self.rank_idx(loc.channel, loc.rank) * self.cfg.banks_per_rank as usize
-            + loc.bank as usize
+        self.rank_idx(loc.channel, loc.rank) * self.cfg.banks_per_rank as usize + loc.bank as usize
     }
 
     /// The row currently open in the addressed bank, if any.
@@ -153,11 +152,8 @@ impl Dram {
                 b.open_row?;
                 let r = &self.ranks[self.rank_idx(loc.channel, loc.rank)];
                 let ch = &self.channels[loc.channel as usize];
-                let mut at = now
-                    .max(b.next_read)
-                    .max(r.next_read)
-                    .max(ch.next_read)
-                    .max(r.refresh_done);
+                let mut at =
+                    now.max(b.next_read).max(r.next_read).max(ch.next_read).max(r.refresh_done);
                 // Data must start when the bus is free.
                 let data_earliest = ch.data_start(loc.rank, t.t_rtrs);
                 at = at.max(data_earliest.saturating_sub(Cycle::from(t.cl)));
@@ -168,10 +164,7 @@ impl Dram {
                 b.open_row?;
                 let r = &self.ranks[self.rank_idx(loc.channel, loc.rank)];
                 let ch = &self.channels[loc.channel as usize];
-                let mut at = now
-                    .max(b.next_write)
-                    .max(ch.next_write)
-                    .max(r.refresh_done);
+                let mut at = now.max(b.next_write).max(ch.next_write).max(r.refresh_done);
                 let data_earliest = ch.data_start(loc.rank, t.t_rtrs);
                 at = at.max(data_earliest.saturating_sub(Cycle::from(t.cwl)));
                 Some(at)
@@ -259,10 +252,7 @@ impl Dram {
     /// Panics (in all builds) if the command violates a timing or state
     /// constraint — the controller must check [`Dram::can_issue`] first.
     pub fn issue(&mut self, cmd: &Command, now: Cycle) -> IssueResult {
-        assert!(
-            self.can_issue(cmd, now),
-            "illegal command {cmd:?} at cycle {now}"
-        );
+        assert!(self.can_issue(cmd, now), "illegal command {cmd:?} at cycle {now}");
         let t = self.cfg.timing;
         self.channels[cmd.channel() as usize].last_cmd_at = Some(now);
         match *cmd {
@@ -291,9 +281,7 @@ impl Dram {
                 ch.data_free_at = data_end;
                 ch.last_data_rank = Some(loc.rank);
                 // Read-to-write turnaround on the channel.
-                ch.next_write = ch
-                    .next_write
-                    .max(now + Cycle::from(t.read_to_write()));
+                ch.next_write = ch.next_write.max(now + Cycle::from(t.read_to_write()));
                 // Back-to-back column spacing.
                 ch.next_read = ch.next_read.max(now + Cycle::from(t.t_ccd));
                 let b = &mut self.banks[bi];
@@ -518,10 +506,7 @@ mod tests {
         let act = Command::activate(0, 0, 0, 1);
         assert_eq!(d.earliest_issue(&act, tr), Some(tr + Cycle::from(t().t_rfc)));
         // Deadline advanced by tREFI.
-        assert_eq!(
-            d.refresh_deadline(0, 0),
-            Cycle::from(t().t_refi) * 2
-        );
+        assert_eq!(d.refresh_deadline(0, 0), Cycle::from(t().t_refi) * 2);
     }
 
     #[test]
@@ -676,12 +661,7 @@ mod prop_tests {
             }
             bursts.sort_unstable();
             for w in bursts.windows(2) {
-                prop_assert!(
-                    w[1].0 >= w[0].1,
-                    "data bursts overlap: {:?} then {:?}",
-                    w[0],
-                    w[1]
-                );
+                prop_assert!(w[1].0 >= w[0].1, "data bursts overlap: {:?} then {:?}", w[0], w[1]);
             }
             Ok(())
         });

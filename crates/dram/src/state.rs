@@ -11,8 +11,7 @@ use crate::Cycle;
 
 /// Per-bank state: the open row plus earliest-issue times for each command
 /// class affecting this bank.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct BankState {
     /// Currently open row, if any.
     pub open_row: Option<u32>,
@@ -26,7 +25,6 @@ pub struct BankState {
     /// Earliest cycle a PRE may issue (covers tRAS, tRTP, tWR).
     pub next_pre: Cycle,
 }
-
 
 impl BankState {
     /// Whether the bank has `row` open.
@@ -53,7 +51,8 @@ impl RankState {
     /// Whether a fifth activate at `now` would violate the four-activate
     /// window `t_faw`.
     pub fn faw_blocked(&self, now: Cycle, t_faw: u32) -> bool {
-        self.act_window.len() >= 4 && now < self.act_window[self.act_window.len() - 4] + Cycle::from(t_faw)
+        self.act_window.len() >= 4
+            && now < self.act_window[self.act_window.len() - 4] + Cycle::from(t_faw)
     }
 
     /// Record an activate at `now`, retiring entries that have left the
@@ -71,8 +70,7 @@ impl RankState {
 }
 
 /// Per-channel state: the shared data bus and read/write turnaround.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ChannelState {
     /// First cycle the data bus is free.
     pub data_free_at: Cycle,
@@ -87,7 +85,6 @@ pub struct ChannelState {
     /// Cycle of the last command accepted (one command per cycle).
     pub last_cmd_at: Option<Cycle>,
 }
-
 
 impl ChannelState {
     /// Earliest start for a data burst by `rank`, honouring bus occupancy

@@ -118,12 +118,8 @@ impl DramStats {
         if mean == 0.0 {
             return 0.0;
         }
-        let var = self
-            .accesses_per_bank
-            .iter()
-            .map(|&a| (a as f64 - mean).powi(2))
-            .sum::<f64>()
-            / n;
+        let var =
+            self.accesses_per_bank.iter().map(|&a| (a as f64 - mean).powi(2)).sum::<f64>() / n;
         var.sqrt() / mean
     }
 }

@@ -140,28 +140,16 @@ impl TimingParams {
             return Err("t_burst must be positive".to_owned());
         }
         if self.t_ccd < self.t_burst {
-            return Err(format!(
-                "t_ccd ({}) must cover the burst ({})",
-                self.t_ccd, self.t_burst
-            ));
+            return Err(format!("t_ccd ({}) must cover the burst ({})", self.t_ccd, self.t_burst));
         }
         if self.t_rc < self.t_ras {
-            return Err(format!(
-                "t_rc ({}) must be at least t_ras ({})",
-                self.t_rc, self.t_ras
-            ));
+            return Err(format!("t_rc ({}) must be at least t_ras ({})", self.t_rc, self.t_ras));
         }
         if self.t_faw < self.t_rrd {
-            return Err(format!(
-                "t_faw ({}) must be at least t_rrd ({})",
-                self.t_faw, self.t_rrd
-            ));
+            return Err(format!("t_faw ({}) must be at least t_rrd ({})", self.t_faw, self.t_rrd));
         }
         if self.t_refi <= self.t_rfc {
-            return Err(format!(
-                "t_refi ({}) must exceed t_rfc ({})",
-                self.t_refi, self.t_rfc
-            ));
+            return Err(format!("t_refi ({}) must exceed t_rfc ({})", self.t_refi, self.t_rfc));
         }
         Ok(())
     }

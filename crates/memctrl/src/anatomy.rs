@@ -169,10 +169,7 @@ impl Anatomy {
         }
         let w = self.waits.remove(&id).unwrap_or([0; 4]);
         let waited: u64 = w.iter().sum();
-        assert!(
-            waited <= total,
-            "read {id}: waited {waited} cycles but total latency is {total}"
-        );
+        assert!(waited <= total, "read {id}: waited {waited} cycles but total latency is {total}");
         let mut components = [0u64; 5];
         components[QUEUE_SAME] = w[0];
         components[QUEUE_OTHER] = w[1];
@@ -202,8 +199,7 @@ impl Anatomy {
     ) {
         let cfg = dram.cfg();
         let (rpc, bpr) = (cfg.ranks_per_channel, cfg.banks_per_rank);
-        let gbank_of =
-            |r: &MemRequest| (((r.channel * rpc) + r.rank) * bpr + r.bank) as usize;
+        let gbank_of = |r: &MemRequest| (((r.channel * rpc) + r.rank) * bpr + r.bank) as usize;
         // Pass 1: the oldest queued request per bank (the blocker a
         // younger same-bank request waits behind) and the oldest queued
         // demand read per core (the interference-matrix subject).
@@ -220,8 +216,7 @@ impl Anatomy {
                 if self.bank_head[g].is_none_or(|(a, i, _)| key < (a, i)) {
                     self.bank_head[g] = Some((r.arrival, r.id, r.thread));
                 }
-                if r.kind == TrafficKind::Demand && self.oldest[r.thread].is_none_or(|o| key < o)
-                {
+                if r.kind == TrafficKind::Demand && self.oldest[r.thread].is_none_or(|o| key < o) {
                     self.oldest[r.thread] = Some(key);
                 }
             }
@@ -286,8 +281,7 @@ impl Anatomy {
         }
         let cfg = dram.cfg();
         let (rpc, bpr) = (cfg.ranks_per_channel, cfg.banks_per_rank);
-        let gbank_of =
-            |r: &MemRequest| (((r.channel * rpc) + r.rank) * bpr + r.bank) as usize;
+        let gbank_of = |r: &MemRequest| (((r.channel * rpc) + r.rank) * bpr + r.bank) as usize;
         for slot in &mut self.bank_head {
             *slot = None;
         }
@@ -301,8 +295,7 @@ impl Anatomy {
                 if self.bank_head[g].is_none_or(|(a, i, _)| key < (a, i)) {
                     self.bank_head[g] = Some((r.arrival, r.id, r.thread));
                 }
-                if r.kind == TrafficKind::Demand && self.oldest[r.thread].is_none_or(|o| key < o)
-                {
+                if r.kind == TrafficKind::Demand && self.oldest[r.thread].is_none_or(|o| key < o) {
                     self.oldest[r.thread] = Some(key);
                 }
             }
@@ -317,8 +310,8 @@ impl Anatomy {
                 // First-segment cause and the cycle (if any) at which it
                 // switches to a bus/arbitration wait. Mirrors `classify`
                 // with `ch_issued = None` on every cycle of the window.
-                let behind_older = self.bank_head[g]
-                    .is_some_and(|(a, i, _)| (a, i) < (r.arrival, r.id));
+                let behind_older =
+                    self.bank_head[g].is_some_and(|(a, i, _)| (a, i) < (r.arrival, r.id));
                 let loc = Loc::new(r.channel, r.rank, r.bank);
                 let (first, switch_at) = if behind_older {
                     let (_, _, t) = self.bank_head[g].unwrap();
@@ -326,9 +319,8 @@ impl Anatomy {
                 } else {
                     match dram.open_row(loc) {
                         Some(row) if row == r.row => {
-                            let gate_clears = dram
-                                .read_bank_ready(loc)
-                                .expect("open row must report a gate");
+                            let gate_clears =
+                                dram.read_bank_ready(loc).expect("open row must report a gate");
                             let bank_cause = if self.row_owner[g] == Some(r.thread) {
                                 Cause::Intrinsic
                             } else {
@@ -441,9 +433,7 @@ impl Anatomy {
                             Cause::BankBusy { by: self.row_owner[gbank] }
                         }
                     }
-                    Some(ColumnGate::Bus) => {
-                        Cause::Bus { by: self.bus_owner[r.channel as usize] }
-                    }
+                    Some(ColumnGate::Bus) => Cause::Bus { by: self.bus_owner[r.channel as usize] },
                     Some(ColumnGate::Ready) | None => self.arbitration_loss(r, ch_issued),
                 }
             }

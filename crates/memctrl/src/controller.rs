@@ -299,16 +299,11 @@ impl MemoryController {
         req.bank = d.bank;
         req.row = d.row;
         req.column = d.column;
-        assert!(
-            self.can_accept(d.channel, req.is_write),
-            "queue full on channel {}",
-            d.channel
-        );
+        assert!(self.can_accept(d.channel, req.is_write), "queue full on channel {}", d.channel);
         let gbank = self.global_bank(&req);
         self.queue_event.set(None);
         self.ctr_enq.incr();
-        self.prof
-            .on_enqueue(req.thread, gbank, req.is_write, req.kind != TrafficKind::Migration);
+        self.prof.on_enqueue(req.thread, gbank, req.is_write, req.kind != TrafficKind::Migration);
         let chi = d.channel as usize;
         let is_write = req.is_write;
         if is_write {
@@ -525,14 +520,9 @@ impl MemoryController {
         if count == 0 {
             return;
         }
-        let _s = self
-            .host_prof
-            .is_enabled()
-            .then(|| self.host_prof.span("memctrl/skip"));
+        let _s = self.host_prof.is_enabled().then(|| self.host_prof.span("memctrl/skip"));
         debug_assert!(
-            self.pending
-                .peek()
-                .is_none_or(|&Reverse(p)| p.ready_at >= from + count),
+            self.pending.peek().is_none_or(|&Reverse(p)| p.ready_at >= from + count),
             "skip window crosses a pending completion"
         );
         self.prof.sample_blp_n(count);
@@ -599,8 +589,8 @@ impl MemoryController {
         }
         self.tick_drain(ch);
         let chi = ch as usize;
-        let use_writes = self.draining[chi]
-            || (self.read_q[chi].is_empty() && !self.write_q[chi].is_empty());
+        let use_writes =
+            self.draining[chi] || (self.read_q[chi].is_empty() && !self.write_q[chi].is_empty());
         self.issue_from(ch, now, use_writes, urgent)
     }
 
@@ -666,11 +656,7 @@ impl MemoryController {
             None => KIND_ACT,
         };
         let table = if is_write { &mut self.cand_w[chi] } else { &mut self.cand_r[chi] };
-        match table
-            .pairs
-            .iter_mut()
-            .find(|p| p.rank == rank && p.bank == bank && p.kind == kind)
-        {
+        match table.pairs.iter_mut().find(|p| p.rank == rank && p.bank == bank && p.kind == kind) {
             Some(p) => p.members.push(idx as u32),
             None => table.pairs.push(Pair {
                 rank,
@@ -790,16 +776,20 @@ impl MemoryController {
     /// ascending queue order makes the first-strictly-better-wins scan
     /// byte-identical to a flat walk of the whole queue (checked against
     /// one in debug builds).
-    fn pick(&mut self, ch: u32, now: Cycle, is_write: bool, urgent: u64) -> Option<(usize, Command, bool)> {
+    fn pick(
+        &mut self,
+        ch: u32,
+        now: Cycle,
+        is_write: bool,
+        urgent: u64,
+    ) -> Option<(usize, Command, bool)> {
         let chi = ch as usize;
         self.cand_refresh(chi, is_write, now);
-        let MemoryController { cand_r, cand_w, read_q, write_q, sched, closed_page, scratch, .. } =
-            self;
-        let (table, queue) = if is_write {
-            (&cand_w[chi], &write_q[chi])
-        } else {
-            (&cand_r[chi], &read_q[chi])
-        };
+        let MemoryController {
+            cand_r, cand_w, read_q, write_q, sched, closed_page, scratch, ..
+        } = self;
+        let (table, queue) =
+            if is_write { (&cand_w[chi], &write_q[chi]) } else { (&cand_r[chi], &read_q[chi]) };
         scratch.clear();
         for p in &table.pairs {
             if p.t_legal > now {
@@ -1166,12 +1156,8 @@ mod tests {
     fn closed_page_policy_precharges_after_access() {
         let mut dram_cfg = DramConfig::fast_test();
         dram_cfg.row_policy = RowPolicy::Closed;
-        let mut m = MemoryController::new(
-            Dram::new(dram_cfg),
-            CtrlConfig::default(),
-            Box::new(FrFcfs),
-            1,
-        );
+        let mut m =
+            MemoryController::new(Dram::new(dram_cfg), CtrlConfig::default(), Box::new(FrFcfs), 1);
         m.enqueue(MemRequest::demand_read(0, 0, 0, 0));
         run(&mut m, 50);
         assert_eq!(m.dram().open_row(Loc::new(0, 0, 0)), None);
@@ -1324,11 +1310,8 @@ mod anatomy_tests {
             );
         }
         // Heavy same-bank contention must show up as non-intrinsic time.
-        let waited: u64 = rep
-            .cores
-            .iter()
-            .flat_map(|c| c.components[..dbp_obs::latency::INTRINSIC].iter())
-            .sum();
+        let waited: u64 =
+            rep.cores.iter().flat_map(|c| c.components[..dbp_obs::latency::INTRINSIC].iter()).sum();
         assert!(waited > 0, "contended workload must record wait cycles");
     }
 
@@ -1556,9 +1539,7 @@ mod prop_tests {
             // 512 pages fit fast_test capacity
             vec_of((range(0usize..4), range(0u64..512), any_bool()), 1..40),
         );
-        check(Config::cases(32), &g, |(sched_idx, reqs)| {
-            conservation_holds(sched_idx, reqs)
-        });
+        check(Config::cases(32), &g, |(sched_idx, reqs)| conservation_holds(sched_idx, reqs));
     }
 
     /// Regression: the shrunk counterexample recorded by the old proptest
@@ -1601,7 +1582,11 @@ mod prop_tests {
     /// drain_cycles and BLP samples), and the same per-rank refresh
     /// deadlines (i.e. exactly the same REF count per rank, even when a
     /// jump would otherwise cross `refresh_due`).
-    fn skip_equals_stepped(sched_idx: usize, recorded: bool, reqs: &[(usize, u64, bool)]) -> CaseResult {
+    fn skip_equals_stepped(
+        sched_idx: usize,
+        recorded: bool,
+        reqs: &[(usize, u64, bool)],
+    ) -> CaseResult {
         let feed = |mc: &mut MemoryController| {
             let mut id = 0u64;
             for &(thread, page, is_write) in reqs {
@@ -1730,9 +1715,6 @@ mod prop_tests {
             ticked < 2 * stepped.stats().cmd_ref + 4,
             "idle stretches must be skipped, not stepped ({ticked} ticks)"
         );
-        assert_eq!(
-            stepped.dram().refresh_deadline(0, 0),
-            skipped.dram().refresh_deadline(0, 0)
-        );
+        assert_eq!(stepped.dram().refresh_deadline(0, 0), skipped.dram().refresh_deadline(0, 0));
     }
 }

@@ -95,10 +95,7 @@ mod tests {
     fn constructors_tag_kind() {
         assert_eq!(MemRequest::demand_read(1, 0, 0, 0).kind, TrafficKind::Demand);
         assert!(MemRequest::writeback(1, 0, 0, 0).is_write);
-        assert_eq!(
-            MemRequest::migration(1, 0, 0, true, 0).kind,
-            TrafficKind::Migration
-        );
+        assert_eq!(MemRequest::migration(1, 0, 0, true, 0).kind, TrafficKind::Migration);
     }
 
     #[test]

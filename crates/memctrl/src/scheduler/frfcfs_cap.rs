@@ -40,9 +40,7 @@ impl FrFcfsCap {
     }
 
     fn capped(&self, r: &MemRequest) -> bool {
-        self.streaks
-            .get(&(r.channel, r.rank, r.bank))
-            .is_some_and(|&s| s >= self.cfg.cap)
+        self.streaks.get(&(r.channel, r.rank, r.bank)).is_some_and(|&s| s >= self.cfg.cap)
     }
 }
 

@@ -55,14 +55,10 @@ impl ParBs {
 
     fn form_batch(&mut self, read_queues: &[Vec<MemRequest>]) {
         // Oldest batch_cap per (thread, bank-in-channel).
-        let mut per_key: FxHashMap<(usize, u32, u32, u32), Vec<&MemRequest>> =
-            FxHashMap::default();
+        let mut per_key: FxHashMap<(usize, u32, u32, u32), Vec<&MemRequest>> = FxHashMap::default();
         for q in read_queues {
             for r in q {
-                per_key
-                    .entry((r.thread, r.channel, r.rank, r.bank))
-                    .or_default()
-                    .push(r);
+                per_key.entry((r.thread, r.channel, r.rank, r.bank)).or_default().push(r);
             }
         }
         let mut per_thread_total = vec![0u64; self.rank_of.len()];

@@ -204,8 +204,7 @@ impl Tcm {
                 self.rank_of[t] = base + i as u32;
             }
             if self.rec.is_enabled() {
-                self.rec
-                    .emit(dbp_obs::EventKind::TcmShuffle { order: self.bw_order.clone() });
+                self.rec.emit(dbp_obs::EventKind::TcmShuffle { order: self.bw_order.clone() });
             }
         }
     }
@@ -252,7 +251,12 @@ impl Scheduler for Tcm {
 mod tests {
     use super::*;
 
-    fn prof_with(reads: &[u64], bus: &[u64], blp: &[f64], rbl_hits: &[(u64, u64)]) -> ProfilerState {
+    fn prof_with(
+        reads: &[u64],
+        bus: &[u64],
+        blp: &[f64],
+        rbl_hits: &[(u64, u64)],
+    ) -> ProfilerState {
         let n = reads.len();
         let mut p = ProfilerState::new(n, 16);
         for t in 0..n {
@@ -282,10 +286,8 @@ mod tests {
     fn low_intensity_threads_get_priority() {
         // Thread 0: 2 reads (low MPKI). Thread 1: 200 reads (high MPKI).
         let prof = prof_with(&[2, 200], &[0, 0], &[0.0, 0.0], &[(0, 0), (0, 0)]);
-        let mut tcm = Tcm::new(
-            TcmConfig { quantum: 10, shuffle_interval: 1000, ..Default::default() },
-            2,
-        );
+        let mut tcm =
+            Tcm::new(TcmConfig { quantum: 10, shuffle_interval: 1000, ..Default::default() }, 2);
         tcm.tick(10, &prof, &[]);
         assert!(tcm.in_latency_cluster(0));
         assert!(tcm.rank(0) < tcm.rank(1));
@@ -296,16 +298,9 @@ mod tests {
 
     #[test]
     fn shuffle_rotates_bw_cluster() {
-        let prof = prof_with(
-            &[500, 500, 500],
-            &[0, 0, 0],
-            &[0.0; 3],
-            &[(0, 0), (0, 0), (0, 0)],
-        );
-        let mut tcm = Tcm::new(
-            TcmConfig { quantum: 10, shuffle_interval: 5, cluster_thresh: 0.0 },
-            3,
-        );
+        let prof = prof_with(&[500, 500, 500], &[0, 0, 0], &[0.0; 3], &[(0, 0), (0, 0), (0, 0)]);
+        let mut tcm =
+            Tcm::new(TcmConfig { quantum: 10, shuffle_interval: 5, cluster_thresh: 0.0 }, 3);
         tcm.tick(10, &prof, &[]);
         let before: Vec<u32> = (0..3).map(|t| tcm.rank(t)).collect();
         tcm.tick(15, &prof, &[]);
@@ -321,10 +316,8 @@ mod tests {
     #[test]
     fn ranks_are_always_a_permutation() {
         let prof = prof_with(&[5, 100, 40, 7], &[0; 4], &[0.0; 4], &[(0, 0); 4]);
-        let mut tcm = Tcm::new(
-            TcmConfig { quantum: 10, shuffle_interval: 3, ..Default::default() },
-            4,
-        );
+        let mut tcm =
+            Tcm::new(TcmConfig { quantum: 10, shuffle_interval: 3, ..Default::default() }, 4);
         for now in (10..200).step_by(3) {
             tcm.tick(now, &prof, &[]);
             let mut ranks: Vec<u32> = (0..4).map(|t| tcm.rank(t)).collect();

@@ -1,0 +1,101 @@
+//! Render decision-audit exports (`dbpsim --audit-out`).
+//!
+//! `dbpaudit` reads `audit_document` JSON, validates the schema version,
+//! and renders the full decision audit:
+//!
+//! * the live-vs-shadow policy comparison (churn, flaps, allocation
+//!   distance, hypothetical migration pressure);
+//! * per-thread demand-prediction accuracy and the calibration table
+//!   (predicted-demand bucket × achieved BLP);
+//! * convergence telemetry (epochs-to-stable, flap rate, phase shifts);
+//! * the per-decision time series with error/distance sparklines.
+//!
+//! Usage: `dbpaudit [--md] [--json] <file>...` — no files reads stdin.
+//! `--json` re-emits the parsed report as canonical JSON instead of
+//! tables (a cheap normalizer / validity filter for scripted consumers).
+
+use std::process::ExitCode;
+
+use dbp_obs::audit::{
+    calibration_table, convergence_summary, phase_shift_table, policy_table, prediction_table,
+};
+use dbp_obs::cli::{read_inputs, Arg, CliSpec};
+use dbp_obs::table::{push_table, sparkline, summary_line};
+use dbp_obs::{export, json, AuditReport};
+
+const SPEC: CliSpec = CliSpec {
+    bin: "dbpaudit",
+    about: "render dbpsim --audit-out decision audits",
+    positional: "[file ...]  audit documents to render (default: stdin)",
+    args: &[
+        Arg::flag("--md", "emit markdown tables instead of aligned plain text"),
+        Arg::flag("--json", "re-emit the parsed report as canonical JSON"),
+    ],
+};
+
+fn render(label: &str, text: &str, md: bool, as_json: bool) -> Result<(), String> {
+    let doc = json::parse(text).map_err(|e| format!("{label}: {e}"))?;
+    export::check_schema_version(&doc).map_err(|e| format!("{label}: {e}"))?;
+    let report = AuditReport::from_json(&doc).map_err(|e| format!("{label}: {e}"))?;
+    if as_json {
+        println!("{}", report.to_json().to_json());
+        return Ok(());
+    }
+    println!("== {label} ==");
+    let mut out = summary_line(&doc);
+    out.push_str(&format!(
+        "decision audit: {} thread(s), {} bank unit(s), {} decision(s)\n",
+        report.threads, report.max_units, report.convergence.decisions
+    ));
+    push_table(&mut out, "policy comparison (live vs shadows)", &policy_table(&report), md);
+    push_table(&mut out, "demand-prediction accuracy (bank units)", &prediction_table(&report), md);
+    push_table(
+        &mut out,
+        "calibration (predicted-demand bucket x achieved BLP)",
+        &calibration_table(&report),
+        md,
+    );
+    out.push('\n');
+    out.push_str(&convergence_summary(&report));
+    if !report.convergence.phase_shifts.is_empty() {
+        push_table(&mut out, "profile phase shifts", &phase_shift_table(&report), md);
+    }
+    if report.epochs.len() > 1 {
+        let errs: Vec<f64> = report.epochs.iter().filter_map(|e| e.mean_abs_pred_error).collect();
+        if !errs.is_empty() {
+            out.push_str(&format!("\n{:>18}  {}\n", "mean |pred err|", sparkline(&errs)));
+        }
+        for (s, shadow) in report.shadows.iter().enumerate() {
+            let dist: Vec<f64> = report
+                .epochs
+                .iter()
+                .filter_map(|e| e.shadow_distance.get(s).map(|&d| d as f64))
+                .collect();
+            out.push_str(&format!(
+                "{:>18}  {}\n",
+                format!("dist {}", shadow.name),
+                sparkline(&dist)
+            ));
+        }
+    }
+    println!("{out}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let parsed = SPEC.parse_or_exit();
+    let (md, as_json) = (parsed.flag("--md"), parsed.flag("--json"));
+    let mut ok = true;
+    for (label, input) in read_inputs(&parsed.files) {
+        let result = input.and_then(|text| render(&label, &text, md, as_json));
+        if let Err(e) = result {
+            eprintln!("dbpaudit: {e}");
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -18,42 +18,30 @@
 //!   `trace_event` document (synthetic timeline, real durations) for
 //!   `chrome://tracing` / Perfetto.
 
-use std::io::Read as _;
 use std::process::ExitCode;
 
+use dbp_obs::cli::{read_inputs, Arg, CliSpec};
 use dbp_obs::export;
 use dbp_obs::json::{self, Json};
 use dbp_obs::prof::{counter_table, span_table, top_self_table, Profile};
-use dbp_obs::table::{fmt_ns, Table};
+use dbp_obs::table::{fmt_ns, push_table, summary_line};
+
+const SPEC: CliSpec = CliSpec {
+    bin: "dbpprof",
+    about: "render dbpsim/bench_all --profile-out self-profiles",
+    positional: "[file ...]  profile documents to render (default: stdin)",
+    args: &[
+        Arg::flag("--md", "emit markdown tables instead of aligned plain text"),
+        Arg::opt("--top", "n", "rows in the top-by-self-time table (default 10)"),
+        Arg::flag("--folded", "emit flamegraph folded stacks instead of tables"),
+        Arg::opt("--chrome", "out.json", "convert one profile to a Chrome trace_event file"),
+    ],
+};
 
 enum Mode {
     Tables { md: bool, top: usize },
     Folded,
     Chrome { out: String },
-}
-
-fn push_table(out: &mut String, caption: &str, t: &Table, md: bool) {
-    if md {
-        out.push_str(&format!("\n**{caption}**\n\n"));
-        out.push_str(&t.to_markdown());
-    } else {
-        out.push_str(&format!("\n{caption}:\n"));
-        out.push_str(&t.render());
-    }
-}
-
-fn summary_line(doc: &Json) -> String {
-    let Some(Json::Obj(pairs)) = doc.get("summary") else { return String::new() };
-    let mut parts = Vec::new();
-    for (k, v) in pairs {
-        match v {
-            Json::Str(s) => parts.push(format!("{k}={s}")),
-            Json::Num(n) => parts.push(format!("{k}={n}")),
-            Json::Bool(b) => parts.push(format!("{k}={b}")),
-            _ => {}
-        }
-    }
-    if parts.is_empty() { String::new() } else { format!("summary: {}\n", parts.join("  ")) }
 }
 
 fn load(label: &str, text: &str) -> Result<(Json, Profile), String> {
@@ -77,14 +65,10 @@ fn render_tables(label: &str, doc: &Json, p: &Profile, md: bool, top: usize) {
 
 fn run(mode: &Mode, files: &[String]) -> Result<(), String> {
     let mut inputs: Vec<(String, String)> = Vec::new();
-    if files.is_empty() {
-        let mut text = String::new();
-        std::io::stdin().read_to_string(&mut text).map_err(|e| format!("<stdin>: {e}"))?;
-        inputs.push(("<stdin>".to_string(), text));
-    }
-    for f in files {
-        let text = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
-        inputs.push((f.clone(), text));
+    for (label, input) in read_inputs(files) {
+        // Unlike the linting bins, every input here feeds one coherent
+        // rendering pass, so the first unreadable input aborts the run.
+        inputs.push((label, input?));
     }
     match mode {
         Mode::Tables { md, top } => {
@@ -114,50 +98,27 @@ fn run(mode: &Mode, files: &[String]) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    let mut md = false;
-    let mut top = 10usize;
-    let mut folded = false;
-    let mut chrome: Option<String> = None;
-    let mut files: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--md" => md = true,
-            "--folded" => folded = true,
-            "--chrome" => match args.next() {
-                Some(path) => chrome = Some(path),
-                None => {
-                    eprintln!("dbpprof: --chrome needs an output path");
-                    return ExitCode::FAILURE;
-                }
-            },
-            "--top" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(n) => top = n,
-                None => {
-                    eprintln!("dbpprof: --top needs a number");
-                    return ExitCode::FAILURE;
-                }
-            },
-            "-h" | "--help" => {
-                println!("usage: dbpprof [--md] [--top N] [<file>...]   (no files: read stdin)");
-                println!("       dbpprof --folded [<file>...]   flamegraph folded stacks");
-                println!("       dbpprof --chrome <out.json> <file>   Chrome trace_event export");
-                println!("renders dbpsim/bench_all --profile-out self-profiles");
-                return ExitCode::SUCCESS;
+    let parsed = SPEC.parse_or_exit();
+    let top = match parsed.option("--top") {
+        None => 10usize,
+        Some(v) => match v.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("dbpprof: --top needs a number, got `{v}`");
+                return ExitCode::FAILURE;
             }
-            _ => files.push(a),
-        }
-    }
-    let mode = match (folded, chrome) {
+        },
+    };
+    let mode = match (parsed.flag("--folded"), parsed.option("--chrome")) {
         (true, Some(_)) => {
             eprintln!("dbpprof: --folded and --chrome are mutually exclusive");
             return ExitCode::FAILURE;
         }
         (true, None) => Mode::Folded,
-        (false, Some(out)) => Mode::Chrome { out },
-        (false, None) => Mode::Tables { md, top },
+        (false, Some(out)) => Mode::Chrome { out: out.to_string() },
+        (false, None) => Mode::Tables { md: parsed.flag("--md"), top },
     };
-    match run(&mode, &files) {
+    match run(&mode, &parsed.files) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("dbpprof: {e}");

@@ -10,41 +10,23 @@
 //!
 //! Usage: `dbpreport [--md] <file>...` (no files: read stdin).
 
-use std::io::Read as _;
 use std::process::ExitCode;
 
+use dbp_obs::cli::{read_inputs, Arg, CliSpec};
 use dbp_obs::export;
 use dbp_obs::json::{self, Json};
 use dbp_obs::latency::{
     bank_latency_table, breakdown_table, interference_table, read_latency_table,
     write_latency_table, LatencyReport,
 };
-use dbp_obs::table::{sparkline, Table};
+use dbp_obs::table::{push_table, sparkline, summary_line, Table};
 
-/// Emit one table in the selected format, with a caption.
-fn push_table(out: &mut String, caption: &str, t: &Table, md: bool) {
-    if md {
-        out.push_str(&format!("\n**{caption}**\n\n"));
-        out.push_str(&t.to_markdown());
-    } else {
-        out.push_str(&format!("\n{caption}:\n"));
-        out.push_str(&t.render());
-    }
-}
-
-/// One line of run context pulled from a document's `summary`, if any.
-fn summary_line(doc: &Json) -> String {
-    let Some(Json::Obj(pairs)) = doc.get("summary") else { return String::new() };
-    let mut parts = Vec::new();
-    for (k, v) in pairs {
-        match v {
-            Json::Str(s) => parts.push(format!("{k}={s}")),
-            Json::Num(n) => parts.push(format!("{k}={n}")),
-            _ => {}
-        }
-    }
-    if parts.is_empty() { String::new() } else { format!("summary: {}\n", parts.join("  ")) }
-}
+const SPEC: CliSpec = CliSpec {
+    bin: "dbpreport",
+    about: "render dbpsim/bench_all JSON exports as aligned tables",
+    positional: "[file ...]  JSON exports to render (default: stdin)",
+    args: &[Arg::flag("--md", "emit markdown tables instead of aligned plain text")],
+};
 
 fn render_latency(doc: &Json, md: bool) -> Result<String, String> {
     let report = LatencyReport::from_json(doc)?;
@@ -132,7 +114,12 @@ fn render_profile(doc: &Json, md: bool) -> Result<String, String> {
         dbp_obs::table::fmt_ns(u128::from(profile.total_ns())),
         profile.counters.len()
     ));
-    push_table(&mut out, "span tree (wall clock, exact-sum)", &dbp_obs::prof::span_table(&profile), md);
+    push_table(
+        &mut out,
+        "span tree (wall clock, exact-sum)",
+        &dbp_obs::prof::span_table(&profile),
+        md,
+    );
     Ok(out)
 }
 
@@ -153,11 +140,28 @@ fn render_trace(doc: &Json, _md: bool) -> Result<String, String> {
     ))
 }
 
+/// Decision-audit documents get a one-paragraph summary here; `dbpaudit`
+/// is the full renderer (policy/prediction/calibration tables).
+fn render_audit(doc: &Json, md: bool) -> Result<String, String> {
+    let report = dbp_obs::AuditReport::from_json(doc)?;
+    let mut out = summary_line(doc);
+    out.push_str(&format!(
+        "decision audit: {} decision(s), {} shadow polic{} (full rendering: dbpaudit)\n",
+        report.convergence.decisions,
+        report.shadows.len(),
+        if report.shadows.len() == 1 { "y" } else { "ies" }
+    ));
+    push_table(&mut out, "policy comparison", &dbp_obs::audit::policy_table(&report), md);
+    Ok(out)
+}
+
 /// Route a parsed document to its renderer by its top-level keys.
 fn render_doc(doc: &Json, md: bool) -> Result<String, String> {
     export::check_schema_version(doc)?;
     if doc.get("interference").is_some() {
         render_latency(doc, md)
+    } else if doc.get("shadows").is_some() {
+        render_audit(doc, md)
     } else if doc.get("epochs").is_some() {
         render_metrics(doc, md)
     } else if doc.get("experiments").is_some() {
@@ -167,7 +171,7 @@ fn render_doc(doc: &Json, md: bool) -> Result<String, String> {
     } else if doc.get("spans").is_some() {
         render_profile(doc, md)
     } else {
-        Err("unrecognised document (expected a latency, metrics, suite-timing, trace, or profile export)"
+        Err("unrecognised document (expected a latency, audit, metrics, suite-timing, trace, or profile export)"
             .to_string())
     }
 }
@@ -194,36 +198,21 @@ fn process(label: &str, text: &str, md: bool) -> bool {
 }
 
 fn main() -> ExitCode {
-    let mut md = false;
-    let mut files: Vec<String> = Vec::new();
-    for a in std::env::args().skip(1) {
-        match a.as_str() {
-            "--md" => md = true,
-            "-h" | "--help" => {
-                println!("usage: dbpreport [--md] [<file>...]  (no files: read stdin)");
-                println!("renders dbpsim/bench_all JSON exports as aligned tables");
-                return ExitCode::SUCCESS;
-            }
-            _ => files.push(a),
-        }
-    }
+    let parsed = SPEC.parse_or_exit();
+    let md = parsed.flag("--md");
     let mut ok = true;
-    if files.is_empty() {
-        let mut text = String::new();
-        if let Err(e) = std::io::stdin().read_to_string(&mut text) {
-            eprintln!("dbpreport: <stdin>: {e}");
-            return ExitCode::FAILURE;
-        }
-        ok = process("<stdin>", &text, md);
-    }
-    for file in &files {
-        match std::fs::read_to_string(file) {
-            Ok(text) => ok &= process(file, &text, md),
+    for (label, input) in read_inputs(&parsed.files) {
+        match input {
+            Ok(text) => ok &= process(&label, &text, md),
             Err(e) => {
-                eprintln!("dbpreport: {file}: {e}");
+                eprintln!("dbpreport: {e}");
                 ok = false;
             }
         }
     }
-    if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

@@ -1,17 +1,25 @@
 //! Strict JSON validator over the in-tree parser, used by `ci.sh` to
 //! check exported trace/metrics files without any external tooling.
 //!
-//! Usage: `jsonlint <file>...` — exits 0 if every file parses, 1
-//! otherwise. With no file arguments the document is read from stdin,
-//! so CI can pipe exports without temp files. `--require-key K`
-//! additionally demands a top-level object key `K` in every document
-//! (e.g. `traceEvents` for Chrome traces).
+//! Usage: `jsonlint [--require-key K]... <file>...` — exits 0 if every
+//! file parses, 1 otherwise. With no file arguments the document is
+//! read from stdin, so CI can pipe exports without temp files.
+//! `--require-key K` additionally demands a top-level object key `K` in
+//! every document (e.g. `traceEvents` for Chrome traces).
 
-use std::io::Read as _;
 use std::process::ExitCode;
 
+use dbp_obs::cli::{read_inputs, Arg, CliSpec};
+
+const SPEC: CliSpec = CliSpec {
+    bin: "jsonlint",
+    about: "validate JSON documents against the in-tree RFC 8259 parser",
+    positional: "[file ...]  documents to validate (default: stdin)",
+    args: &[Arg::opt("--require-key", "key", "demand a top-level object key (repeatable)")],
+};
+
 /// Validate one document; returns whether it passed.
-fn lint(label: &str, text: &str, required_keys: &[String]) -> bool {
+fn lint(label: &str, text: &str, required_keys: &[&str]) -> bool {
     match dbp_obs::json::parse(text) {
         Ok(doc) => {
             let mut missing = false;
@@ -34,48 +42,21 @@ fn lint(label: &str, text: &str, required_keys: &[String]) -> bool {
 }
 
 fn main() -> ExitCode {
-    let mut required_keys: Vec<String> = Vec::new();
-    let mut files: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--require-key" => match args.next() {
-                Some(k) => required_keys.push(k),
-                None => {
-                    eprintln!("jsonlint: --require-key needs a value");
-                    return ExitCode::FAILURE;
-                }
-            },
-            "-h" | "--help" => {
-                println!("usage: jsonlint [--require-key K]... [<file>...]  (no files: read stdin)");
-                return ExitCode::SUCCESS;
-            }
-            _ => files.push(a),
-        }
-    }
-    if files.is_empty() {
-        let mut text = String::new();
-        if let Err(e) = std::io::stdin().read_to_string(&mut text) {
-            eprintln!("jsonlint: <stdin>: {e}");
-            return ExitCode::FAILURE;
-        }
-        return if lint("<stdin>", &text, &required_keys) {
-            ExitCode::SUCCESS
-        } else {
-            ExitCode::FAILURE
-        };
-    }
+    let parsed = SPEC.parse_or_exit();
+    let required_keys = parsed.options("--require-key");
     let mut ok = true;
-    for file in &files {
-        let text = match std::fs::read_to_string(file) {
-            Ok(t) => t,
+    for (label, input) in read_inputs(&parsed.files) {
+        match input {
+            Ok(text) => ok &= lint(&label, &text, &required_keys),
             Err(e) => {
-                eprintln!("jsonlint: {file}: {e}");
+                eprintln!("jsonlint: {e}");
                 ok = false;
-                continue;
             }
-        };
-        ok &= lint(file, &text, &required_keys);
+        }
     }
-    if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

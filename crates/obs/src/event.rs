@@ -59,13 +59,7 @@ pub enum EventKind {
     /// 1 = intensive high-RBL, 2 = non-intensive).
     ChannelGroup { thread: usize, group: u8 },
     /// A page was copied between frames (and hence bank groups).
-    PageMigration {
-        thread: usize,
-        vpn: u64,
-        old_frame: u64,
-        new_frame: u64,
-        cause: MigrationCause,
-    },
+    PageMigration { thread: usize, vpn: u64, old_frame: u64, new_frame: u64, cause: MigrationCause },
     /// A migration found no free frame in the target partition.
     MigrationFailed { thread: usize },
     /// A migration was pushed to a later epoch by the per-epoch budget.
@@ -149,13 +143,13 @@ impl EventKind {
                 ("new_frame", Json::uint(*new_frame)),
                 ("cause", Json::str(cause.label())),
             ]),
-            EventKind::MigrationFailed { .. }
-            | EventKind::MigrationDeferred { .. } => Json::Obj(Vec::new()),
+            EventKind::MigrationFailed { .. } | EventKind::MigrationDeferred { .. } => {
+                Json::Obj(Vec::new())
+            }
             EventKind::FallbackAlloc { vpn, .. } => Json::obj([("vpn", Json::uint(*vpn))]),
-            EventKind::TcmCluster { latency, bandwidth } => Json::obj([
-                ("latency", usizes(latency)),
-                ("bandwidth", usizes(bandwidth)),
-            ]),
+            EventKind::TcmCluster { latency, bandwidth } => {
+                Json::obj([("latency", usizes(latency)), ("bandwidth", usizes(bandwidth))])
+            }
             EventKind::TcmShuffle { order } => Json::obj([("order", usizes(order))]),
         }
     }
@@ -178,9 +172,9 @@ impl EventKind {
             EventKind::ChannelGroup { thread, group } => {
                 format!("[epoch @{cycle}] t{thread}: MCP group {group}")
             }
-            EventKind::TcmCluster { latency, bandwidth } => format!(
-                "[tcm @{cycle}] cluster latency={latency:?} bandwidth={bandwidth:?}"
-            ),
+            EventKind::TcmCluster { latency, bandwidth } => {
+                format!("[tcm @{cycle}] cluster latency={latency:?} bandwidth={bandwidth:?}")
+            }
             EventKind::TcmShuffle { order } => format!("[tcm @{cycle}] shuffle -> {order:?}"),
             other => format!("[obs @{cycle}] {}", other.name()),
         }

@@ -11,10 +11,11 @@
 //!   Timestamps are CPU cycles reported in the `ts` microsecond field,
 //!   i.e. the UI's "microsecond" axis reads in cycles.
 
+use crate::audit::AuditReport;
 use crate::event::TraceEvent;
 use crate::json::Json;
 use crate::latency::LatencyReport;
-use crate::prof::{Profile, ProfSpan};
+use crate::prof::{ProfSpan, Profile};
 use crate::recorder::{EpochSample, Telemetry};
 
 /// Format version stamped into both documents so downstream tooling can
@@ -113,6 +114,25 @@ pub fn latency_document(report: &LatencyReport, summary: Json) -> Json {
     match report.to_json() {
         Json::Obj(body) => pairs.extend(body),
         _ => unreachable!("LatencyReport::to_json returns an object"),
+    }
+    Json::Obj(pairs)
+}
+
+/// Build the decision-audit document for `dbpsim --audit-out`: version
+/// stamps, caller-provided run context, then the [`AuditReport`] body
+/// (shadow-policy comparison, prediction accuracy, calibration,
+/// convergence, and the per-decision time series under `epoch_rows` —
+/// deliberately not `epochs`, which routes a document to the metrics
+/// renderer).
+pub fn audit_document(report: &AuditReport, summary: Json) -> Json {
+    let mut pairs = vec![
+        ("format_version".to_string(), Json::uint(FORMAT_VERSION)),
+        ("schema_version".to_string(), Json::str(SCHEMA_VERSION)),
+        ("summary".to_string(), summary),
+    ];
+    match report.to_json() {
+        Json::Obj(body) => pairs.extend(body),
+        _ => unreachable!("AuditReport::to_json returns an object"),
     }
     Json::Obj(pairs)
 }
@@ -269,7 +289,10 @@ fn chrome_counter(name: &str, cycle: u64, series: Vec<(String, Json)>) -> Json {
 }
 
 /// Per-thread series for one metric, keys `t0`, `t1`, ...
-fn thread_series(s: &EpochSample, f: impl Fn(&crate::recorder::ThreadSample) -> f64) -> Vec<(String, Json)> {
+fn thread_series(
+    s: &EpochSample,
+    f: impl Fn(&crate::recorder::ThreadSample) -> f64,
+) -> Vec<(String, Json)> {
     s.threads.iter().enumerate().map(|(i, t)| (format!("t{i}"), Json::num(f(t)))).collect()
 }
 
@@ -360,7 +383,13 @@ mod tests {
             row_hit_rate: 0.6,
             bus_utilisation: 0.3,
             threads: vec![
-                ThreadSample { mpki: 12.5, rbl: 0.8, blp: 2.4, reads: 100, avg_read_latency: 210.0 },
+                ThreadSample {
+                    mpki: 12.5,
+                    rbl: 0.8,
+                    blp: 2.4,
+                    reads: 100,
+                    avg_read_latency: 210.0,
+                },
                 ThreadSample { mpki: 0.0, rbl: 0.0, blp: 0.0, reads: 0, avg_read_latency: 0.0 },
             ],
         });
@@ -457,7 +486,10 @@ mod tests {
         assert_eq!(exps[0].get("jobs").and_then(Json::as_num), Some(105.0));
         assert_eq!(exps[0].get("solo_cache_hits").and_then(Json::as_num), Some(120.0));
         assert_eq!(
-            back.get("annotations").and_then(|a| a.get("diag")).and_then(|d| d.get("reads")).and_then(Json::as_num),
+            back.get("annotations")
+                .and_then(|a| a.get("diag"))
+                .and_then(|d| d.get("reads"))
+                .and_then(Json::as_num),
             Some(7.0)
         );
         assert!(check_schema_version(&back).is_ok());
@@ -479,6 +511,48 @@ mod tests {
         );
         let parsed = LatencyReport::from_json(&back).expect("body must reconstruct");
         assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn audit_document_round_trips_with_schema() {
+        use crate::audit::{AuditBuilder, EpochObservation, ProfileSample, ShadowEpoch};
+
+        let mut b = AuditBuilder::new(
+            "DBP",
+            vec!["equal-BP".to_string()],
+            2,
+            4,
+            vec![vec![vec![0, 1], vec![2, 3]], vec![vec![0, 1], vec![2, 3]]],
+        );
+        b.observe(&EpochObservation {
+            epoch: 0,
+            live_units: vec![vec![0, 1, 2], vec![3]],
+            achieved: vec![ProfileSample::default(), ProfileSample::default()],
+            predicted_units: vec![3, 1],
+            shadows: vec![ShadowEpoch {
+                units: vec![vec![0, 1], vec![2, 3]],
+                would_migrate_pages: 5,
+            }],
+        });
+        let report = b.report();
+        let doc = audit_document(&report, Json::obj([("mix", Json::str("mix50-1"))]));
+        let back = json::parse(&doc.to_json()).expect("audit doc must be valid JSON");
+        assert!(check_schema_version(&back).is_ok());
+        assert_eq!(back.get("schema_version").and_then(Json::as_str), Some(SCHEMA_VERSION));
+        assert_eq!(
+            back.get("summary").and_then(|s| s.get("mix")).and_then(Json::as_str),
+            Some("mix50-1")
+        );
+        // The per-decision series exports as `epoch_rows`, NOT `epochs`:
+        // `dbpreport` routes metrics documents by the `epochs` key, so an
+        // audit document must never carry it at top level.
+        assert!(back.get("epoch_rows").is_some());
+        assert!(back.get("epochs").is_none(), "audit docs must not collide with metrics routing");
+        let parsed = AuditReport::from_json(&back).expect("body must reconstruct");
+        assert_eq!(parsed, report);
+        // A future-major producer is rejected before anyone reads the body.
+        let future = json::parse(&doc.to_json().replace("\"1.0\"", "\"2.0\"")).unwrap();
+        assert!(check_schema_version(&future).unwrap_err().contains("newer"));
     }
 
     #[test]

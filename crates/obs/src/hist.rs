@@ -96,12 +96,20 @@ impl Histogram {
 
     /// Smallest recorded value (0 when empty).
     pub fn min(&self) -> u64 {
-        if self.count == 0 { 0 } else { self.min }
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
     }
 
     /// Largest recorded value (0 when empty).
     pub fn max(&self) -> u64 {
-        if self.count == 0 { 0 } else { self.max }
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
     }
 
     /// Arithmetic mean (0.0 when empty).
@@ -176,9 +184,13 @@ impl Histogram {
             ("p99", Json::uint(self.value_at_quantile(0.99))),
             (
                 "buckets",
-                Json::arr(self.counts.iter().enumerate().filter(|(_, c)| **c > 0).map(
-                    |(i, c)| Json::arr([Json::uint(i as u64), Json::uint(*c)]),
-                )),
+                Json::arr(
+                    self.counts
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| **c > 0)
+                        .map(|(i, c)| Json::arr([Json::uint(i as u64), Json::uint(*c)])),
+                ),
             ),
         ])
     }
@@ -203,13 +215,12 @@ impl Histogram {
             min: field("min")?,
             max: field("max")?,
         };
-        let buckets = v
-            .get("buckets")
-            .and_then(Json::as_arr)
-            .ok_or("histogram missing buckets array")?;
+        let buckets =
+            v.get("buckets").and_then(Json::as_arr).ok_or("histogram missing buckets array")?;
         let mut total = 0u64;
         for b in buckets {
-            let pair = b.as_arr().filter(|p| p.len() == 2).ok_or("bucket must be [index, count]")?;
+            let pair =
+                b.as_arr().filter(|p| p.len() == 2).ok_or("bucket must be [index, count]")?;
             let idx = pair[0].as_num().ok_or("bucket index must be a number")? as usize;
             let c = pair[1].as_num().ok_or("bucket count must be a number")? as u64;
             if idx > MAX_INDEX {
@@ -329,6 +340,69 @@ mod tests {
         // Merging an empty histogram is a no-op.
         merged.merge(&Histogram::new());
         assert_eq!(merged, both);
+    }
+
+    #[test]
+    fn merging_two_empty_histograms_stays_empty() {
+        let mut a = Histogram::new();
+        a.merge(&Histogram::new());
+        assert_eq!(a, Histogram::new());
+        assert!(a.is_empty());
+        assert_eq!((a.count(), a.sum(), a.min(), a.max()), (0, 0, 0, 0));
+        // ... and still behaves as a fresh histogram afterwards: the
+        // first real sample must seed min/max, not min() against a stale
+        // zero.
+        a.record(42);
+        assert_eq!((a.min(), a.max()), (42, 42));
+        // Empty ⊕ non-empty adopts the other side's min/max wholesale.
+        let mut b = Histogram::new();
+        b.merge(&a);
+        assert_eq!(b, a);
+    }
+
+    #[test]
+    fn merge_saturates_sum_instead_of_wrapping() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(u64::MAX);
+        b.record(u64::MAX);
+        assert_eq!(a.sum(), u64::MAX, "single-shard recording already saturates");
+        a.merge(&b);
+        assert_eq!(a.sum(), u64::MAX, "merged sum must clamp, not wrap");
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), u64::MAX);
+        assert_eq!(a.value_at_quantile(1.0), u64::MAX, "quantile clamps to recorded max");
+        assert!(a.mean() > 0.0);
+    }
+
+    #[test]
+    fn cross_octave_merge_round_trips_and_resizes_either_way() {
+        // One shard only touches the exact linear region, the other only
+        // a high octave, so the two `counts` tables have very different
+        // lengths and merging must grow whichever side is shorter.
+        let mut low = Histogram::new();
+        for v in 0..16u64 {
+            low.record(v);
+        }
+        let mut high = Histogram::new();
+        high.record_n(1 << 40, 3);
+        high.record((1 << 40) + 12_345);
+
+        let mut a = low.clone();
+        a.merge(&high); // short grows to fit long
+        let mut b = high.clone();
+        b.merge(&low); // long absorbs short
+        assert_eq!(a, b, "merge must be symmetric across octaves");
+        assert_eq!(a.count(), 20);
+        assert_eq!(a.min(), 0);
+        assert_eq!(a.max(), (1 << 40) + 12_345);
+        // Low quantiles come from the linear shard, high from the octave
+        // shard — the merge kept both populations.
+        assert!(a.value_at_quantile(0.5) < 16);
+        assert!(a.value_at_quantile(0.99) >= 1 << 40);
+        // And the merged histogram survives a JSON round-trip exactly.
+        let back = Histogram::from_json(&json::parse(&a.to_json().to_json()).unwrap()).unwrap();
+        assert_eq!(back, a);
     }
 
     #[test]

@@ -354,16 +354,14 @@ impl Parser<'_> {
                                     if !(0xDC00..0xE000).contains(&lo) {
                                         return Err(self.err("invalid low surrogate"));
                                     }
-                                    let combined =
-                                        0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
                                     char::from_u32(combined)
                                         .ok_or_else(|| self.err("invalid surrogate pair"))?
                                 } else {
                                     return Err(self.err("lone high surrogate"));
                                 }
                             } else {
-                                char::from_u32(cp)
-                                    .ok_or_else(|| self.err("invalid \\u escape"))?
+                                char::from_u32(cp).ok_or_else(|| self.err("invalid \\u escape"))?
                             };
                             s.push(c);
                             continue; // hex4 already advanced past the digits
@@ -428,9 +426,7 @@ impl Parser<'_> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err("number out of range"))
+        text.parse::<f64>().map(Json::Num).map_err(|_| self.err("number out of range"))
     }
 }
 
@@ -513,20 +509,63 @@ mod tests {
             .unwrap();
         assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 4);
         assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1], Json::num(250.0));
-        assert_eq!(
-            v.get("a").unwrap().as_arr().unwrap()[3].as_str().unwrap(),
-            "xA\u{1F600}"
-        );
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[3].as_str().unwrap(), "xA\u{1F600}");
         assert_eq!(v.get("b"), Some(&Json::Null));
     }
 
     #[test]
     fn parser_rejects_malformed_documents() {
         for bad in [
-            "", "{", "[1,]", "{\"a\":}", "01", "1.", "1e", "\"unterminated",
-            "nul", "[1] garbage", "{'a':1}", "\"\\q\"", "\"\\ud800\"",
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "01",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "nul",
+            "[1] garbage",
+            "{'a':1}",
+            "\"\\q\"",
+            "\"\\ud800\"",
         ] {
             assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_string_escapes() {
+        for bad in [
+            r#""\u""#,           // \u with no digits
+            r#""\u12""#,         // \u with too few digits
+            r#""\u12g4""#,       // non-hex digit
+            r#""\u123"#,         // escape truncated with the document
+            r#""\udc00""#,       // lone low surrogate
+            r#""\ud800A""#,      // high surrogate + non-surrogate
+            r#""\ud800\ud800""#, // high surrogate + high surrogate
+            r#""\ud83d"#,        // high surrogate, then EOF
+            r#""\ud83dx""#,      // high surrogate not followed by \u
+            r#""\x41""#,         // invalid escape letter
+            "\"\\\"",            // backslash, then EOF
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        }
+        // The adjacent well-formed spellings all still parse.
+        assert_eq!(parse(r#""A""#).unwrap().as_str(), Some("A"));
+        assert_eq!(parse(r#""😀""#).unwrap().as_str(), Some("\u{1F600}"));
+    }
+
+    #[test]
+    fn parser_rejects_every_truncation_of_a_valid_document() {
+        // This document only becomes valid JSON at its final byte, so
+        // every strict prefix must be rejected — the "writer died
+        // mid-flush" shape jsonlint exists to catch. All-ASCII, so every
+        // byte offset is a char boundary.
+        let doc = r#"{"a":[1,true,"xA"],"b":{"c":null,"d":-2.5e-1}}"#;
+        assert!(parse(doc).is_ok());
+        for cut in 0..doc.len() {
+            assert!(parse(&doc[..cut]).is_err(), "prefix {:?} must not parse", &doc[..cut]);
         }
     }
 

@@ -95,9 +95,7 @@ impl Matrix {
 
     /// JSON form: an array of row arrays.
     pub fn to_json(&self) -> Json {
-        Json::arr((0..self.n).map(|i| {
-            Json::arr((0..self.n).map(|j| Json::uint(self.get(i, j))))
-        }))
+        Json::arr((0..self.n).map(|i| Json::arr((0..self.n).map(|j| Json::uint(self.get(i, j))))))
     }
 
     /// Rebuild from the [`Matrix::to_json`] form.
@@ -161,7 +159,13 @@ impl LatencyReport {
     ///
     /// Panics (in every build profile) unless `components` sum exactly
     /// to `total` — the breakdown must be a partition, not an estimate.
-    pub fn record_read(&mut self, core: usize, bank: usize, total: u64, components: [u64; N_COMPONENTS]) {
+    pub fn record_read(
+        &mut self,
+        core: usize,
+        bank: usize,
+        total: u64,
+        components: [u64; N_COMPONENTS],
+    ) {
         assert_eq!(
             components.iter().sum::<u64>(),
             total,

@@ -15,11 +15,19 @@
 //! * [`prof`] — host-side self-profiling: exact-sum wall-clock span
 //!   trees and monotonic work counters behind the same cheap-clone
 //!   disabled-is-one-branch handle shape as [`Recorder`]. Rendered by
-//!   the `dbpprof` bin.
+//!   the `dbpprof` bin;
+//! * [`audit`] — the policy decision audit data model (shadow-policy
+//!   comparison, demand-estimation accuracy, convergence telemetry),
+//!   fed by the simulator's epoch loop and rendered by the `dbpaudit`
+//!   bin;
+//! * [`cli`] — the shared argument parser behind every renderer bin's
+//!   uniform `--help`.
 //!
 //! The crate intentionally depends on nothing else in the workspace (or
 //! outside it) so any layer can use it without cycles.
 
+pub mod audit;
+pub mod cli;
 pub mod event;
 pub mod export;
 pub mod fxhash;
@@ -30,6 +38,7 @@ pub mod prof;
 pub mod recorder;
 pub mod table;
 
+pub use audit::{AuditBuilder, AuditReport, EpochObservation, ProfileSample, ShadowEpoch};
 pub use event::{EventKind, MigrationCause, TraceEvent};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use hist::Histogram;

@@ -81,7 +81,14 @@ impl SpanTree {
             Some(&i) => i,
             None => {
                 let i = self.nodes.len();
-                self.nodes.push(NodeAgg { name, parent, count: 0, total_ns: 0, self_ns: 0, max_ns: 0 });
+                self.nodes.push(NodeAgg {
+                    name,
+                    parent,
+                    count: 0,
+                    total_ns: 0,
+                    self_ns: 0,
+                    max_ns: 0,
+                });
                 self.index.insert((parent, name), i);
                 i
             }
@@ -140,7 +147,8 @@ impl SpanTree {
                 children,
             }
         }
-        let mut spans: Vec<ProfSpan> = roots.iter().map(|&r| build(&self.nodes, &kids, r)).collect();
+        let mut spans: Vec<ProfSpan> =
+            roots.iter().map(|&r| build(&self.nodes, &kids, r)).collect();
         spans.sort_by(|a, b| a.name.cmp(&b.name));
         self.nodes.clear();
         self.index.clear();
@@ -166,13 +174,16 @@ impl ThreadTreeSet {
         // `strong_count > 0` guards against an old profiler's allocation
         // being reused for a new one (the dangling Weak keeps the stale
         // pointer but reports zero strong refs).
-        self.entries.iter_mut().find(|e| Weak::as_ptr(&e.owner) == ptr && e.owner.strong_count() > 0)
+        self.entries
+            .iter_mut()
+            .find(|e| Weak::as_ptr(&e.owner) == ptr && e.owner.strong_count() > 0)
     }
 
     fn tree_for(&mut self, inner: &Arc<Inner>) -> &mut SpanTree {
         if self.find(inner).is_none() {
             self.entries.retain(|e| e.owner.strong_count() > 0);
-            self.entries.push(ThreadEntry { owner: Arc::downgrade(inner), tree: SpanTree::default() });
+            self.entries
+                .push(ThreadEntry { owner: Arc::downgrade(inner), tree: SpanTree::default() });
         }
         &mut self.find(inner).expect("just inserted").tree
     }
@@ -278,10 +289,7 @@ impl Prof {
         TREES.with(|t| {
             let mut set = t.borrow_mut();
             if let Some(entry) = set.find(inner) {
-                assert!(
-                    entry.tree.stack.is_empty(),
-                    "flush_thread/snapshot inside an open span"
-                );
+                assert!(entry.tree.stack.is_empty(), "flush_thread/snapshot inside an open span");
                 if !entry.tree.nodes.is_empty() {
                     let p = entry.tree.take_profile();
                     inner.absorb(p);
@@ -523,9 +531,7 @@ impl Profile {
             ("spans", Json::arr(self.spans.iter().map(span_json))),
             (
                 "counters",
-                Json::Obj(
-                    self.counters.iter().map(|(n, v)| (n.clone(), Json::uint(*v))).collect(),
-                ),
+                Json::Obj(self.counters.iter().map(|(n, v)| (n.clone(), Json::uint(*v))).collect()),
             ),
         ])
     }
@@ -540,7 +546,10 @@ impl Profile {
     /// violation.
     pub fn from_json(doc: &Json) -> Result<Profile, String> {
         fn get_u64(j: &Json, key: &str) -> Result<u64, String> {
-            let v = j.get(key).and_then(Json::as_num).ok_or_else(|| format!("span missing numeric {key:?}"))?;
+            let v = j
+                .get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("span missing numeric {key:?}"))?;
             if v < 0.0 {
                 return Err(format!("span {key:?} is negative"));
             }
@@ -748,10 +757,7 @@ mod tests {
         p.counter("b_counter").add(3); // same cell, re-resolved
         assert_eq!(b.get(), 5);
         let snap = p.snapshot();
-        assert_eq!(
-            snap.counters,
-            vec![("a_counter".to_string(), 1), ("b_counter".to_string(), 5)]
-        );
+        assert_eq!(snap.counters, vec![("a_counter".to_string(), 1), ("b_counter".to_string(), 5)]);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
 
+use crate::audit::AuditReport;
 use crate::event::{EventKind, TraceEvent};
 use crate::latency::LatencyReport;
 
@@ -28,11 +29,15 @@ pub struct RecorderConfig {
     /// Pretty-print epoch-level events to stderr as they arrive
     /// (back-compat behaviour of the `DBP_TRACE_PLAN` env var).
     pub stderr_echo: bool,
+    /// Ask the simulator to run the decision audit layer (shadow
+    /// policies + estimator accuracy + convergence) and publish its
+    /// report via [`Recorder::set_audit`].
+    pub audit: bool,
 }
 
 impl Default for RecorderConfig {
     fn default() -> Self {
-        RecorderConfig { event_capacity: DEFAULT_EVENT_CAPACITY, stderr_echo: false }
+        RecorderConfig { event_capacity: DEFAULT_EVENT_CAPACITY, stderr_echo: false, audit: false }
     }
 }
 
@@ -74,6 +79,10 @@ pub struct Telemetry {
     /// The memory controller's end-of-run latency anatomy, if one was
     /// published via [`Recorder::set_latency`].
     pub latency: Option<LatencyReport>,
+    /// The run's decision audit, if one was requested
+    /// ([`RecorderConfig::audit`]) and published via
+    /// [`Recorder::set_audit`].
+    pub audit: Option<AuditReport>,
 }
 
 #[derive(Debug)]
@@ -83,6 +92,8 @@ struct Inner {
     dropped: Cell<u64>,
     series: RefCell<Vec<EpochSample>>,
     latency: RefCell<Option<LatencyReport>>,
+    audit: RefCell<Option<AuditReport>>,
+    audit_requested: bool,
     capacity: usize,
     stderr_echo: bool,
 }
@@ -108,6 +119,8 @@ impl Recorder {
                 dropped: Cell::new(0),
                 series: RefCell::new(Vec::new()),
                 latency: RefCell::new(None),
+                audit: RefCell::new(None),
+                audit_requested: cfg.audit,
                 capacity: cfg.event_capacity.max(1),
                 stderr_echo: cfg.stderr_echo,
             })),
@@ -163,6 +176,19 @@ impl Recorder {
         }
     }
 
+    /// Did construction ask for the decision audit layer? The simulator
+    /// only builds its shadow rack when this is set.
+    pub fn audit_requested(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.audit_requested)
+    }
+
+    /// Publish the run's decision audit (replaces any earlier report).
+    pub fn set_audit(&self, report: AuditReport) {
+        if let Some(inner) = &self.inner {
+            *inner.audit.borrow_mut() = Some(report);
+        }
+    }
+
     /// Copy out everything captured so far. Empty for a disabled recorder.
     pub fn snapshot(&self) -> Telemetry {
         match &self.inner {
@@ -172,6 +198,7 @@ impl Recorder {
                 dropped_events: inner.dropped.get(),
                 series: inner.series.borrow().clone(),
                 latency: inner.latency.borrow().clone(),
+                audit: inner.audit.borrow().clone(),
             },
         }
     }
@@ -215,6 +242,19 @@ mod tests {
     }
 
     #[test]
+    fn audit_request_flag_and_report_round_trip() {
+        let r = Recorder::new(RecorderConfig::default());
+        assert!(!r.audit_requested(), "audit is opt-in");
+        assert_eq!(r.snapshot().audit, None);
+        let r = Recorder::new(RecorderConfig { audit: true, ..Default::default() });
+        assert!(r.audit_requested());
+        let report = AuditReport { threads: 2, max_units: 4, ..Default::default() };
+        r.clone().set_audit(report.clone());
+        assert_eq!(r.snapshot().audit, Some(report));
+        assert!(!Recorder::disabled().audit_requested());
+    }
+
+    #[test]
     fn events_are_stamped_with_current_cycle() {
         let r = Recorder::new(RecorderConfig::default());
         assert!(r.is_enabled());
@@ -242,7 +282,7 @@ mod tests {
 
     #[test]
     fn ring_buffer_drops_oldest_and_counts() {
-        let r = Recorder::new(RecorderConfig { event_capacity: 3, stderr_echo: false });
+        let r = Recorder::new(RecorderConfig { event_capacity: 3, ..Default::default() });
         for e in 0..5u64 {
             r.set_cycle(e);
             r.emit(EventKind::EpochStart { epoch: e });

@@ -87,13 +87,15 @@ impl Table {
                 .iter()
                 .zip(widths)
                 .zip(&self.left)
-                .map(|((cell, w), &l)| {
-                    if l {
-                        format!("{cell:<w$}")
-                    } else {
-                        format!("{cell:>w$}")
-                    }
-                })
+                .map(
+                    |((cell, w), &l)| {
+                        if l {
+                            format!("{cell:<w$}")
+                        } else {
+                            format!("{cell:>w$}")
+                        }
+                    },
+                )
                 .collect::<Vec<_>>()
                 .join("  ");
             line.trim_end().to_string()
@@ -153,6 +155,40 @@ impl Table {
 impl std::fmt::Display for Table {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(&self.render())
+    }
+}
+
+/// Emit one captioned table in either plain (`render`) or markdown
+/// format — the shape every renderer bin (`dbpreport`, `dbpprof`,
+/// `dbpaudit`) emits.
+pub fn push_table(out: &mut String, caption: &str, t: &Table, md: bool) {
+    if md {
+        out.push_str(&format!("\n**{caption}**\n\n"));
+        out.push_str(&t.to_markdown());
+    } else {
+        out.push_str(&format!("\n{caption}:\n"));
+        out.push_str(&t.render());
+    }
+}
+
+/// One line of run context pulled from a document's `summary` object,
+/// if any (string and numeric entries only).
+pub fn summary_line(doc: &crate::json::Json) -> String {
+    use crate::json::Json;
+    let Some(Json::Obj(pairs)) = doc.get("summary") else { return String::new() };
+    let mut parts = Vec::new();
+    for (k, v) in pairs {
+        match v {
+            Json::Str(s) => parts.push(format!("{k}={s}")),
+            Json::Num(n) => parts.push(format!("{k}={n}")),
+            Json::Bool(b) => parts.push(format!("{k}={b}")),
+            _ => {}
+        }
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("summary: {}\n", parts.join("  "))
     }
 }
 

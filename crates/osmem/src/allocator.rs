@@ -26,9 +26,7 @@ struct FrameColorFn {
 
 impl FrameColorFn {
     fn color(&self, frame: Frame) -> ColorId {
-        self.mapper
-            .frame_color(frame)
-            .expect("allocator requires a page-coloring address layout")
+        self.mapper.frame_color(frame).expect("allocator requires a page-coloring address layout")
     }
 }
 
@@ -43,10 +41,7 @@ impl FrameAllocator {
     pub fn new(cfg: &DramConfig) -> Self {
         let mapper = AddressMapper::new(cfg);
         let n_colors = mapper.num_colors();
-        assert!(
-            n_colors <= ColorSet::MAX_COLORS,
-            "{n_colors} colors exceed ColorSet capacity"
-        );
+        assert!(n_colors <= ColorSet::MAX_COLORS, "{n_colors} colors exceed ColorSet capacity");
         let total = cfg.total_frames();
         let fc = FrameColorFn { mapper };
         let mut free: Vec<Vec<Frame>> = vec![Vec::new(); n_colors as usize];
@@ -118,10 +113,7 @@ mod tests {
     use super::*;
 
     fn small_cfg() -> DramConfig {
-        DramConfig {
-            rows_per_bank: 64,
-            ..DramConfig::default()
-        }
+        DramConfig { rows_per_bank: 64, ..DramConfig::default() }
     }
 
     #[test]

@@ -195,12 +195,7 @@ impl MemoryManager {
                     return Translation {
                         pa: (new_frame << self.page_bits) | offset,
                         allocated: false,
-                        migration: Some(MigrationJob {
-                            thread,
-                            vpn,
-                            old_frame: frame,
-                            new_frame,
-                        }),
+                        migration: Some(MigrationJob { thread, vpn, old_frame: frame, new_frame }),
                     };
                 }
                 self.stats.failed_migrations += 1;
@@ -214,11 +209,7 @@ impl MemoryManager {
         }
         let frame = self.alloc_for(thread, vpn);
         self.tables[thread].map(vpn, frame);
-        Translation {
-            pa: (frame << self.page_bits) | offset,
-            allocated: true,
-            migration: None,
-        }
+        Translation { pa: (frame << self.page_bits) | offset, allocated: true, migration: None }
     }
 
     /// Side-effect-free translation probe: `Some(pa)` only when a call to
@@ -332,10 +323,8 @@ impl MemoryManager {
                     break; // no strict improvement left
                 }
                 let (vpn, old_frame) = buckets[k].pop().expect("bucket over target");
-                let new_frame = self
-                    .allocator
-                    .alloc_color(colors[dest])
-                    .expect("checked free frame");
+                let new_frame =
+                    self.allocator.alloc_color(colors[dest]).expect("checked free frame");
                 self.allocator.free(old_frame);
                 self.tables[thread].map(vpn, new_frame);
                 self.stats.migrated_pages += 1;
@@ -397,10 +386,18 @@ impl MemoryManager {
     /// Count of `thread`'s resident pages that violate its partition
     /// (non-zero only in lazy mode between repartition and touch).
     pub fn violating_pages(&self, thread: ThreadId) -> usize {
-        let part = &self.partitions[thread];
+        self.pages_outside(thread, &self.partitions[thread])
+    }
+
+    /// Count of `thread`'s resident pages whose frame color falls
+    /// outside `colors` — the migration backlog an arbitrary
+    /// (hypothetical) partition would create. Read-only: the decision
+    /// audit layer uses it to cost shadow-policy plans without touching
+    /// placement state.
+    pub fn pages_outside(&self, thread: ThreadId, colors: &ColorSet) -> usize {
         self.tables[thread]
             .iter()
-            .filter(|&(_, f)| !part.contains(self.allocator.color_of(f)))
+            .filter(|&(_, f)| !colors.contains(self.allocator.color_of(f)))
             .count()
     }
 }
@@ -568,12 +565,9 @@ mod prop_tests {
     fn frames_are_never_aliased() {
         let script_gen = vec_of(
             one_of::<(usize, u64, bool)>(vec![
-                (range(0usize..3), range(0u64..64))
-                    .map(|(t, v)| (t, v, false))
-                    .boxed() as BoxedGen<(usize, u64, bool)>,
-                (range(0usize..3), range(0u32..16))
-                    .map(|(t, c)| (t, u64::from(c), true))
-                    .boxed(),
+                (range(0usize..3), range(0u64..64)).map(|(t, v)| (t, v, false)).boxed()
+                    as BoxedGen<(usize, u64, bool)>,
+                (range(0usize..3), range(0u32..16)).map(|(t, c)| (t, u64::from(c), true)).boxed(),
             ]),
             1..80,
         );
@@ -613,10 +607,7 @@ mod prop_tests {
     /// Repartition + conform always reaches zero violations.
     #[test]
     fn conform_reaches_fixpoint() {
-        let g = (
-            vec_of((range(0usize..2), range(0u64..48)), 1..60),
-            range(0u32..32),
-        );
+        let g = (vec_of((range(0usize..2), range(0u64..48)), 1..60), range(0u32..32));
         check(Config::cases(32), &g, |(touches, target_color)| {
             let mut mm = MemoryManager::new(&small_cfg(), 2, MigrationMode::Lazy);
             for (t, p) in touches {

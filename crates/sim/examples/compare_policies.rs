@@ -20,7 +20,11 @@ fn main() {
         ("FRFCFS-EBP   ", SchedulerKind::FrFcfs, PolicyKind::Equal),
         ("FRFCFS-DBP   ", SchedulerKind::FrFcfs, PolicyKind::Dbp(Default::default())),
         ("TCM-shared   ", SchedulerKind::Tcm(Default::default()), PolicyKind::Unpartitioned),
-        ("TCM-DBP      ", SchedulerKind::Tcm(Default::default()), PolicyKind::Dbp(Default::default())),
+        (
+            "TCM-DBP      ",
+            SchedulerKind::Tcm(Default::default()),
+            PolicyKind::Dbp(Default::default()),
+        ),
         ("FRFCFS-MCP   ", SchedulerKind::FrFcfs, PolicyKind::Mcp(Default::default())),
         ("PARBS-shared ", SchedulerKind::ParBs(Default::default()), PolicyKind::Unpartitioned),
     ];

@@ -14,7 +14,10 @@ fn main() {
     cfg.target_instructions = 1_000_000;
     let mixes = mixes_4core();
     let mix = &mixes[mix_idx];
-    println!("mix {} = {:?}  geometry {}ch x {}rk x 8bk", mix.name, mix.benchmarks, channels, ranks);
+    println!(
+        "mix {} = {:?}  geometry {}ch x {}rk x 8bk",
+        mix.name, mix.benchmarks, channels, ranks
+    );
     let alone = runner::alone_ipcs(&cfg, mix);
     for (label, sched, policy) in [
         ("shared", SchedulerKind::FrFcfs, PolicyKind::Unpartitioned),
@@ -30,10 +33,16 @@ fn main() {
         let run = runner::run_mix_with_alone(&c, mix, alone.clone());
         print!(
             "{label} WS={:.3} MS={:.3} rh={:.3} mig={:>5}",
-            run.metrics.weighted_speedup, run.metrics.max_slowdown, run.shared.row_hit_rate, run.shared.migrated_pages
+            run.metrics.weighted_speedup,
+            run.metrics.max_slowdown,
+            run.shared.row_hit_rate,
+            run.shared.migrated_pages
         );
         for (i, t) in run.shared.threads.iter().enumerate() {
-            print!("  t{i}[su={:.2} rbl={:.2} blp={:.2} lat={:.0}]", run.metrics.speedups[i], t.rbl, t.blp, t.avg_read_latency);
+            print!(
+                "  t{i}[su={:.2} rbl={:.2} blp={:.2} lat={:.0}]",
+                run.metrics.speedups[i], t.rbl, t.blp, t.avg_read_latency
+            );
         }
         println!();
     }

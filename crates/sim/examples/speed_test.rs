@@ -12,8 +12,16 @@ fn main() {
     let dt = t0.elapsed();
     println!("mix100-1 full run (4 alone + 1 shared) took {:.2?}", dt);
     println!("shared cycles: {}", run.shared.total_cycles);
-    println!("WS={:.3} MS={:.3} rowhit={:.3}", run.weighted_speedup(), run.max_slowdown(), run.shared.row_hit_rate);
+    println!(
+        "WS={:.3} MS={:.3} rowhit={:.3}",
+        run.weighted_speedup(),
+        run.max_slowdown(),
+        run.shared.row_hit_rate
+    );
     for (i, t) in run.shared.threads.iter().enumerate() {
-        println!("  t{i} ipc={:.3} alone={:.3} mpki={:.1} rbl={:.2} blp={:.2}", t.ipc, run.alone_ipcs[i], t.mpki, t.rbl, t.blp);
+        println!(
+            "  t{i} ipc={:.3} alone={:.3} mpki={:.1} rbl={:.2} blp={:.2}",
+            t.ipc, run.alone_ipcs[i], t.mpki, t.rbl, t.blp
+        );
     }
 }

@@ -1,0 +1,259 @@
+//! Shadow-policy evaluation: the simulator side of the decision audit.
+//!
+//! A [`ShadowRack`] holds N extra [`PartitionPolicy`] instances that see
+//! the exact same per-epoch [`ThreadMemProfile`] stream as the live
+//! policy, in observation-only mode: their plans are recorded, compared
+//! against the live decision, and costed (how many resident pages *would*
+//! have to migrate to adopt them) — but never applied. The pure-data
+//! accounting lives in [`dbp_obs::audit`]; this module owns everything
+//! that needs the policy trait, the topology, or the OS memory manager,
+//! which `dbp-obs` (dependency-free by design) cannot see.
+//!
+//! ## Observation-only contract
+//!
+//! `observe` takes `&MemoryManager` and reads page placement through
+//! [`MemoryManager::pages_outside`]; shadow policies receive their *own*
+//! previous plan (never the live one) and a disabled recorder, so no
+//! shadow decision can leak into events, placement, or scheduling. The
+//! property tests in `system.rs` hold the whole rack to byte-identical
+//! simulation output, attached vs detached, across every scheduler.
+
+use dbp_core::policy::{DbpConfig, PartitionPolicy, PolicyKind};
+use dbp_core::{BankDemandEstimator, ColorTopology, EstimatorConfig, ThreadMemProfile};
+use dbp_memctrl::ThreadProf;
+use dbp_obs::audit::{AuditBuilder, EpochObservation, ProfileSample, ShadowEpoch};
+use dbp_obs::AuditReport;
+use dbp_osmem::{ColorSet, MemoryManager};
+
+use crate::config::SimConfig;
+
+/// One shadow policy plus the plan it last proposed (its own history —
+/// a shadow reacts to its own previous decision, as it would if live).
+struct Shadow {
+    name: String,
+    policy: Box<dyn PartitionPolicy>,
+    last_plan: Vec<ColorSet>,
+}
+
+/// The decision audit layer: shadow policies, the demand estimator
+/// replica, and the accumulating report builder.
+pub struct ShadowRack {
+    shadows: Vec<Shadow>,
+    /// Replica of the live estimator (the live policy's knobs when it is
+    /// DBP, defaults otherwise) used to log per-epoch demand predictions.
+    estimator: BankDemandEstimator,
+    builder: AuditBuilder,
+    epoch_cpu_cycles: u64,
+}
+
+impl std::fmt::Debug for ShadowRack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.shadows.iter().map(|s| s.name.as_str()).collect();
+        f.debug_struct("ShadowRack").field("shadows", &names).finish()
+    }
+}
+
+impl ShadowRack {
+    /// Build the standard rack: equal split, MCP, and DBP with a doubled
+    /// estimator gain (`alpha`) — one static rival, one channel-granular
+    /// rival, and one knob ablation of the live estimator. `live_cold`
+    /// is the live policy's cold-start plan, seeding its change
+    /// detection; each shadow cold-starts itself the same way the system
+    /// cold-starts the live policy.
+    pub fn standard(cfg: &SimConfig, topo: &ColorTopology, live_cold: &[ColorSet]) -> ShadowRack {
+        let threads = live_cold.len();
+        let estimator_cfg = match cfg.policy {
+            PolicyKind::Dbp(dbp) => dbp.estimator,
+            _ => EstimatorConfig::default(),
+        };
+        let alt_estimator = EstimatorConfig { alpha: estimator_cfg.alpha * 2.0, ..estimator_cfg };
+        let alt_dbp = match cfg.policy {
+            PolicyKind::Dbp(dbp) => DbpConfig { estimator: alt_estimator, ..dbp },
+            _ => DbpConfig { estimator: alt_estimator, ..DbpConfig::default() },
+        };
+        let kinds: Vec<(String, PolicyKind)> = vec![
+            ("equal-BP".to_string(), PolicyKind::Equal),
+            ("MCP".to_string(), PolicyKind::Mcp(Default::default())),
+            (format!("DBP(alpha={})", alt_estimator.alpha), PolicyKind::Dbp(alt_dbp)),
+        ];
+        let cold_profiles = vec![ThreadMemProfile::default(); threads];
+        let mut shadows = Vec::new();
+        for (name, kind) in kinds {
+            let mut policy = kind.build();
+            let last_plan = policy.partition(&cold_profiles, topo, None);
+            shadows.push(Shadow { name, policy, last_plan });
+        }
+        let cold_plans = std::iter::once(live_cold)
+            .chain(shadows.iter().map(|s| s.last_plan.as_slice()))
+            .map(|plan| plan.iter().map(|c| topo.units_of(c)).collect())
+            .collect();
+        let builder = AuditBuilder::new(
+            cfg.policy.label(),
+            shadows.iter().map(|s| s.name.clone()).collect(),
+            threads,
+            topo.units(),
+            cold_plans,
+        );
+        ShadowRack {
+            shadows,
+            estimator: BankDemandEstimator::new(estimator_cfg),
+            builder,
+            epoch_cpu_cycles: cfg.epoch_cpu_cycles,
+        }
+    }
+
+    /// Record that measurement began after `decisions` repartitions.
+    pub fn note_measurement_start(&mut self, decisions: u64) {
+        self.builder.note_measurement_start(decisions);
+    }
+
+    /// Feed one repartition decision: the profiles every policy saw, the
+    /// raw epoch counters behind them, and the live plan about to be
+    /// applied. Runs every shadow policy on the same inputs and logs the
+    /// comparison. Strictly read-only with respect to the simulation
+    /// (`osmem` is only consulted for hypothetical migration costs).
+    pub fn observe(
+        &mut self,
+        epoch: u64,
+        profiles: &[ThreadMemProfile],
+        snap: &[ThreadProf],
+        live_plan: &[ColorSet],
+        topo: &ColorTopology,
+        osmem: &MemoryManager,
+    ) {
+        let achieved = snap
+            .iter()
+            .map(|p| ProfileSample {
+                mpki: p.mpki(),
+                rbl: p.rbl(),
+                blp: p.blp(),
+                ipc: p.instructions as f64 / self.epoch_cpu_cycles.max(1) as f64,
+            })
+            .collect();
+        let predicted_units =
+            profiles.iter().map(|p| self.estimator.demand(p, topo.units())).collect();
+        let shadow_epochs = self
+            .shadows
+            .iter_mut()
+            .map(|s| {
+                let plan = s.policy.partition(profiles, topo, Some(&s.last_plan));
+                // The migration cost of adopting this plan *now*: pages
+                // resident outside the proposed partition. An honest
+                // counterfactual proxy — placement history belongs to
+                // the live policy, so a long-diverged shadow reads high.
+                let would_migrate_pages = plan
+                    .iter()
+                    .enumerate()
+                    .map(|(t, colors)| osmem.pages_outside(t, colors) as u64)
+                    .sum();
+                let units = plan.iter().map(|c| topo.units_of(c)).collect();
+                s.last_plan = plan;
+                ShadowEpoch { units, would_migrate_pages }
+            })
+            .collect();
+        self.builder.observe(&EpochObservation {
+            epoch,
+            live_units: live_plan.iter().map(|c| topo.units_of(c)).collect(),
+            achieved,
+            predicted_units,
+            shadows: shadow_epochs,
+        });
+    }
+
+    /// Snapshot the audit accumulated so far.
+    pub fn report(&self) -> AuditReport {
+        self.builder.report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_osmem::MigrationMode;
+
+    fn base_cfg() -> SimConfig {
+        SimConfig { policy: PolicyKind::Dbp(DbpConfig::default()), ..SimConfig::fast_test() }
+    }
+
+    fn cold_plan(cfg: &SimConfig, topo: &ColorTopology, n: usize) -> Vec<ColorSet> {
+        let mut policy = cfg.policy.build();
+        policy.partition(&vec![ThreadMemProfile::default(); n], topo, None)
+    }
+
+    fn profiles() -> Vec<ThreadMemProfile> {
+        vec![
+            ThreadMemProfile { mpki: 30.0, rbl: 0.4, blp: 3.0, reads: 4000, bus_cycles: 9000 },
+            ThreadMemProfile { mpki: 0.2, rbl: 0.9, blp: 1.1, reads: 40, bus_cycles: 90 },
+        ]
+    }
+
+    fn snap() -> Vec<ThreadProf> {
+        vec![
+            ThreadProf { instructions: 50_000, ..Default::default() },
+            ThreadProf { instructions: 90_000, ..Default::default() },
+        ]
+    }
+
+    #[test]
+    fn standard_rack_runs_three_shadows() {
+        let cfg = base_cfg();
+        let topo = ColorTopology::from_dram(&cfg.dram);
+        let cold = cold_plan(&cfg, &topo, 2);
+        let mut rack = ShadowRack::standard(&cfg, &topo, &cold);
+        let osmem = MemoryManager::new(&cfg.dram, 2, MigrationMode::Lazy);
+        rack.observe(0, &profiles(), &snap(), &cold, &topo, &osmem);
+        let r = rack.report();
+        assert_eq!(r.shadows.len(), 3);
+        assert_eq!(r.live.name, "DBP");
+        assert_eq!(r.shadows[0].name, "equal-BP");
+        assert_eq!(r.shadows[1].name, "MCP");
+        assert_eq!(r.shadows[2].name, "DBP(alpha=4)");
+        assert_eq!(r.threads, 2);
+        assert_eq!(r.convergence.decisions, 1);
+        // Demand predictions logged for both threads at the first epoch.
+        assert_eq!(r.epochs.len(), 1);
+        assert!(r.epochs[0].mean_abs_pred_error.is_none());
+    }
+
+    #[test]
+    fn observe_is_read_only_for_osmem() {
+        let cfg = base_cfg();
+        let topo = ColorTopology::from_dram(&cfg.dram);
+        let cold = cold_plan(&cfg, &topo, 2);
+        let mut rack = ShadowRack::standard(&cfg, &topo, &cold);
+        let mut osmem = MemoryManager::new(&cfg.dram, 2, MigrationMode::Lazy);
+        osmem.set_partition(0, topo.unit_colors(0));
+        osmem.set_partition(1, topo.unit_colors(1));
+        for page in 0..16u64 {
+            osmem.translate(0, page << 12);
+            osmem.translate(1, (page + 100) << 12);
+        }
+        let before = *osmem.stats();
+        let placements: Vec<u64> =
+            (0..16u64).map(|page| osmem.translate(0, page << 12).pa).collect();
+        rack.observe(0, &profiles(), &snap(), &cold, &topo, &osmem);
+        rack.observe(1, &profiles(), &snap(), &cold, &topo, &osmem);
+        let after_placements: Vec<u64> =
+            (0..16u64).map(|page| osmem.translate(0, page << 12).pa).collect();
+        assert_eq!(before, *osmem.stats());
+        assert_eq!(placements, after_placements);
+    }
+
+    #[test]
+    fn shadow_distance_tracks_divergence_from_live() {
+        // A live plan that deliberately starves thread 1 must diverge
+        // from the equal-split shadow.
+        let cfg = base_cfg();
+        let topo = ColorTopology::from_dram(&cfg.dram);
+        let cold = cold_plan(&cfg, &topo, 2);
+        let mut rack = ShadowRack::standard(&cfg, &topo, &cold);
+        let osmem = MemoryManager::new(&cfg.dram, 2, MigrationMode::Lazy);
+        let units = topo.units();
+        let skewed: Vec<ColorSet> =
+            vec![topo.units_colors(0..units - 1), topo.units_colors(units - 1..units)];
+        rack.observe(0, &profiles(), &snap(), &skewed, &topo, &osmem);
+        let r = rack.report();
+        let equal = &r.shadows[0];
+        assert!(equal.mean_distance > 0.0, "skewed live vs equal shadow must differ");
+    }
+}

@@ -110,11 +110,7 @@ impl Default for SimConfig {
             // 2 channels x 1 rank x 8 banks = 16 banks / 16 page colors:
             // the bank-to-thread ratio of the paper-era 4-core setups
             // (large enough to matter, small enough that threads contend).
-            dram: DramConfig {
-                ranks_per_channel: 1,
-                rows_per_bank: 8192,
-                ..DramConfig::default()
-            },
+            dram: DramConfig { ranks_per_channel: 1, rows_per_bank: 8192, ..DramConfig::default() },
             ctrl: CtrlConfig::default(),
             core: CoreConfig::default(),
             hierarchy: HierarchyConfig::default(),

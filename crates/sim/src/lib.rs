@@ -26,6 +26,7 @@
 //! assert!(result.weighted_speedup() > 0.0);
 //! ```
 
+pub mod audit;
 pub mod config;
 pub mod metrics;
 pub mod report;

@@ -115,10 +115,7 @@ impl MixMetrics {
         let weighted_speedup = speedups.iter().sum();
         let harmonic_speedup =
             speedups.len() as f64 / speedups.iter().map(|s| 1.0 / s).sum::<f64>();
-        let max_slowdown = speedups
-            .iter()
-            .map(|s| 1.0 / s)
-            .fold(f64::MIN, f64::max);
+        let max_slowdown = speedups.iter().map(|s| 1.0 / s).fold(f64::MIN, f64::max);
         MixMetrics { speedups, weighted_speedup, harmonic_speedup, max_slowdown }
     }
 }
@@ -148,13 +145,8 @@ mod tests {
     fn dram_activity_energy_scales_with_commands() {
         let model = dbp_dram::EnergyModel::default();
         let quiet = DramActivity { elapsed: 1000, ..Default::default() };
-        let busy = DramActivity {
-            activates: 100,
-            reads: 300,
-            writes: 100,
-            refreshes: 2,
-            elapsed: 1000,
-        };
+        let busy =
+            DramActivity { activates: 100, reads: 300, writes: 100, refreshes: 2, elapsed: 1000 };
         assert!(busy.energy_nj(&model) > quiet.energy_nj(&model));
         assert!(quiet.energy_nj(&model) > 0.0, "background power is nonzero");
     }

@@ -65,11 +65,8 @@ impl MixRun {
 /// couple of high bits, or their generator streams start out correlated.
 pub fn seed_for(mix: &Mix, core: usize) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let bytes = mix
-        .name
-        .bytes()
-        .chain(mix.benchmarks[core].bytes())
-        .chain((core as u64).to_le_bytes());
+    let bytes =
+        mix.name.bytes().chain(mix.benchmarks[core].bytes()).chain((core as u64).to_le_bytes());
     for b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x1000_0000_01b3);
@@ -241,6 +238,18 @@ pub fn run_shared_latency(cfg: &SimConfig, mix: &Mix) -> (RunResult, dbp_obs::La
     (result, latency)
 }
 
+/// [`run_shared`], with the decision audit layer switched on: shadow
+/// policies, demand-prediction accuracy, and convergence telemetry.
+/// Returns the run result plus the [`dbp_obs::AuditReport`]. The audit
+/// only observes — the simulated outcome is byte-identical to
+/// [`run_shared`] (a property test over all schedulers asserts it).
+pub fn run_shared_audited(cfg: &SimConfig, mix: &Mix) -> (RunResult, dbp_obs::AuditReport) {
+    let rec = dbp_obs::Recorder::new(dbp_obs::RecorderConfig { audit: true, ..Default::default() });
+    let result = run_shared_recorded(cfg, mix, rec.clone());
+    let audit = rec.snapshot().audit.unwrap_or_default();
+    (result, audit)
+}
+
 /// Alone runs + shared run + metrics in one call.
 pub fn run_mix(cfg: &SimConfig, mix: &Mix) -> MixRun {
     let alone = alone_ipcs(cfg, mix);
@@ -386,6 +395,35 @@ mod tests {
     }
 
     #[test]
+    fn audited_run_is_deterministic_and_observation_only() {
+        let cfg = SimConfig {
+            policy: dbp_core::policy::PolicyKind::Dbp(Default::default()),
+            ..tiny_cfg()
+        };
+        let mix = &mixes_4core()[0];
+        let (r1, a1) = run_shared_audited(&cfg, mix);
+        let (r2, a2) = run_shared_audited(&cfg, mix);
+        assert_eq!(a1, a2, "seeded runs must produce identical audits");
+        assert_eq!(a1.threads, mix.cores());
+        assert_eq!(a1.shadows.len(), 3, "standard rack: equal, MCP, alt-DBP");
+        assert!(a1.convergence.decisions > 0, "run must span repartition decisions");
+        assert_eq!(a1.epochs.len() as u64, a1.convergence.decisions);
+        assert!(
+            a1.prediction.iter().any(|p| p.samples > 0),
+            "multi-epoch run must pair predictions with outcomes"
+        );
+        // Observation only: the audited run's headline numbers match an
+        // unaudited run of the same seed.
+        let plain = run_shared(&cfg, mix);
+        assert_eq!(plain.total_cycles, r1.total_cycles);
+        assert_eq!(r1.total_cycles, r2.total_cycles);
+        for (a, b) in plain.threads.iter().zip(&r1.threads) {
+            assert_eq!(a.ipc, b.ipc);
+            assert_eq!(a.reads, b.reads);
+        }
+    }
+
+    #[test]
     fn profiled_run_is_observation_only_and_sums_exactly() {
         let cfg = tiny_cfg();
         let mix = &mixes_4core()[0];
@@ -413,12 +451,8 @@ mod tests {
             .map(|&(_, v)| v)
             .expect("cycle counter present");
         let measure = p.spans.iter().find(|s| s.name == "sim/measure").unwrap();
-        let cores_tick: u64 = measure
-            .children
-            .iter()
-            .filter(|c| c.name == "sim/cores_tick")
-            .map(|c| c.count)
-            .sum();
+        let cores_tick: u64 =
+            measure.children.iter().filter(|c| c.name == "sim/cores_tick").map(|c| c.count).sum();
         assert!(stepped >= cores_tick, "steps span warmup too");
         assert!(cores_tick > 0, "measured window must step");
     }

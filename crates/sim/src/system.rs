@@ -11,6 +11,7 @@ use dbp_memctrl::{Completion, MemRequest, MemoryController, ThreadProf};
 use dbp_obs::{EpochSample, EventKind, FxHashMap, Prof, Recorder, RecorderConfig, ThreadSample};
 use dbp_osmem::{ColorSet, MemoryManager, MigrationJob, OsStats};
 
+use crate::audit::ShadowRack;
 use crate::config::{MigrationCost, SimConfig};
 use crate::metrics::{RunResult, ThreadResult};
 
@@ -64,6 +65,11 @@ pub struct System {
     os_base: OsStats,
     sys_base: SysStats,
     rec: Recorder,
+    /// Decision audit layer (shadow policies + estimator accuracy +
+    /// convergence), built only when the recorder asked for it
+    /// ([`RecorderConfig::audit`]). Observation-only: the byte-identity
+    /// property tests hold attached-vs-detached runs equal.
+    audit: Option<ShadowRack>,
     /// Host-side self-profiler (wall-clock spans + work counters); named
     /// `host_prof` because `ctrl.prof()` is the *simulated* per-thread
     /// DRAM profiler — the two measure different worlds.
@@ -111,11 +117,7 @@ impl System {
     /// # Panics
     ///
     /// Panics if `traces` is empty or the configuration is invalid.
-    pub fn with_recorder(
-        cfg: SimConfig,
-        traces: Vec<Box<dyn TraceSource>>,
-        rec: Recorder,
-    ) -> Self {
+    pub fn with_recorder(cfg: SimConfig, traces: Vec<Box<dyn TraceSource>>, rec: Recorder) -> Self {
         Self::with_instrumentation(cfg, traces, rec, Prof::disabled())
     }
 
@@ -157,6 +159,11 @@ impl System {
         // Any value (even "0") disables skipping: the variable is a CI
         // cross-check switch, not a tristate.
         let time_skip = std::env::var_os("DBP_NO_SKIP").is_none();
+        let audit = if rec.audit_requested() {
+            Some(ShadowRack::standard(&cfg, &topo, &plan))
+        } else {
+            None
+        };
         System {
             cores: traces.into_iter().map(|t| Core::new(cfg.core, t)).collect(),
             caches: (0..n).map(|_| Hierarchy::new(cfg.hierarchy)).collect(),
@@ -184,6 +191,7 @@ impl System {
             topo,
             cfg,
             rec,
+            audit,
             host_prof: prof,
             ctr_cycles,
             ctr_skipped,
@@ -253,8 +261,7 @@ impl System {
             // belong to warmup, not to the measured steady state.
             let min_cycles = 4 * self.cfg.epoch_cpu_cycles + 1;
             while self.cycle < self.cfg.max_cpu_cycles
-                && (self.cycle < min_cycles
-                    || self.cores.iter().any(|c| c.retired() < warm))
+                && (self.cycle < min_cycles || self.cores.iter().any(|c| c.retired() < warm))
             {
                 self.step();
                 // The skip bound is derived from the *post-step* state: a
@@ -264,11 +271,8 @@ impl System {
                 // must land exactly on the min-cycle clamp, because
                 // measurement starts there.
                 let behind = self.cores.iter().any(|c| c.retired() < warm);
-                if self.cycle < self.cfg.max_cpu_cycles
-                    && (behind || self.cycle < min_cycles)
-                {
-                    let bound =
-                        if behind { self.cfg.max_cpu_cycles } else { min_cycles };
+                if self.cycle < self.cfg.max_cpu_cycles && (behind || self.cycle < min_cycles) {
+                    let bound = if behind { self.cfg.max_cpu_cycles } else { min_cycles };
                     self.maybe_skip(bound);
                 }
             }
@@ -301,6 +305,9 @@ impl System {
         self.osmem.conform_all();
         self.migration_backlog.clear();
         self.poll_stuck.fill(false);
+        if let Some(rack) = &mut self.audit {
+            rack.note_measurement_start(self.stats.repartitions);
+        }
         self.measure_start = self.cycle;
         for i in 0..self.cores.len() {
             self.base_retired[i] = self.cores[i].retired();
@@ -391,8 +398,7 @@ impl System {
                     }
                     let would_retry = self.mshrs[i].is_full()
                         || !self.ctrl.can_accept(self.ctrl.channel_of(line), false)
-                        || (0..channels)
-                            .any(|ch| self.ctrl.queue_len(ch, true) + 2 > write_cap);
+                        || (0..channels).any(|ch| self.ctrl.queue_len(ch, true) + 2 > write_cap);
                     if !would_retry {
                         return; // the poll would enqueue next tick
                     }
@@ -496,8 +502,7 @@ impl System {
         drop(_s);
         for i in 0..self.cores.len() {
             if self.finish_cycle[i].is_none()
-                && self.cores[i].retired() - self.base_retired[i]
-                    >= self.cfg.target_instructions
+                && self.cores[i].retired() - self.base_retired[i] >= self.cfg.target_instructions
             {
                 self.finish_cycle[i] = Some(cycle + 1);
             }
@@ -523,8 +528,7 @@ impl System {
                 self.migration_backlog.pop_front();
                 let id = self.next_req_id;
                 self.next_req_id += 1;
-                self.ctrl
-                    .enqueue(MemRequest::migration(id, thread, addr, is_write, dram_now));
+                self.ctrl.enqueue(MemRequest::migration(id, thread, addr, is_write, dram_now));
                 self.stats.migration_requests += 1;
             }
         }
@@ -532,10 +536,7 @@ impl System {
         buf.clear();
         self.ctrl.tick(dram_now, &mut buf);
         for c in &buf {
-            let (core, line) = self
-                .req_map
-                .remove(&c.id)
-                .expect("completion for unknown request");
+            let (core, line) = self.req_map.remove(&c.id).expect("completion for unknown request");
             self.poll_stuck[core] = false;
             self.mshrs[core].complete(line);
             if let Some(waiters) = self.waiting[core].remove(&line) {
@@ -655,8 +656,7 @@ impl System {
         self.feed_instructions();
         // Refilled budget / remapped pages can unstick any poll.
         self.poll_stuck.fill(false);
-        self.osmem
-            .refill_migration_budget(self.cfg.migration_budget_pages);
+        self.osmem.refill_migration_budget(self.cfg.migration_budget_pages);
         let epoch = self.stats.repartitions;
         let snap = self.ctrl.prof_mut().take_epoch();
         if self.rec.is_enabled() {
@@ -704,9 +704,10 @@ impl System {
                 bus_cycles: p.bus_cycles,
             })
             .collect();
-        let plan = self
-            .policy
-            .partition(&profiles, &self.topo, self.last_plan.as_deref());
+        let plan = self.policy.partition(&profiles, &self.topo, self.last_plan.as_deref());
+        if let Some(rack) = &mut self.audit {
+            rack.observe(epoch, &profiles, &snap, &plan, &self.topo, &self.osmem);
+        }
         if self.rec.is_enabled() {
             let changed_threads: Vec<usize> = (0..plan.len())
                 .filter(|&t| self.last_plan.as_ref().is_none_or(|lp| lp[t] != plan[t]))
@@ -718,10 +719,7 @@ impl System {
             });
         }
         for (t, colors) in plan.iter().enumerate() {
-            let changed = self
-                .last_plan
-                .as_ref()
-                .is_none_or(|lp| lp[t] != *colors);
+            let changed = self.last_plan.as_ref().is_none_or(|lp| lp[t] != *colors);
             if changed {
                 let mut jobs = self.osmem.set_partition(t, *colors);
                 // A grown partition needs its pages spread to be useful.
@@ -747,6 +745,9 @@ impl System {
         self.feed_instructions();
         if let Some(rep) = self.ctrl.latency_report() {
             self.rec.set_latency(rep.clone());
+        }
+        if let Some(rack) = &self.audit {
+            self.rec.set_audit(rack.report());
         }
         let target = self.cfg.target_instructions;
         let threads: Vec<ThreadResult> = (0..self.cores.len())
@@ -782,7 +783,11 @@ impl System {
                     hits += p.row_hits;
                     total += p.row_hits + p.row_misses + p.row_conflicts;
                 }
-                if total == 0 { 0.0 } else { hits as f64 / total as f64 }
+                if total == 0 {
+                    0.0
+                } else {
+                    hits as f64 / total as f64
+                }
             },
             dram: crate::metrics::DramActivity {
                 activates: dram_stats.activates,
@@ -874,8 +879,7 @@ mod tests {
             sys.run().threads[0].ipc
         };
         let duo = {
-            let mut sys =
-                System::new(small_cfg(), vec![stream_trace(1), stream_trace(1)]);
+            let mut sys = System::new(small_cfg(), vec![stream_trace(1), stream_trace(1)]);
             sys.run().threads[0].ipc
         };
         assert!(duo <= solo * 1.01, "co-runner cannot speed a thread up");
@@ -988,11 +992,11 @@ mod prop_tests {
     fn time_skipping_is_bit_exact_end_to_end() {
         let names = ["mcf", "libquantum", "lbm", "povray", "gcc", "omnetpp"];
         let gen = (
-            range(0usize..7),            // scheduler
-            range(0usize..names.len()),  // workload 0
-            range(0usize..names.len()),  // workload 1
-            range(0u64..1000),           // seed base
-            range(0usize..2),            // policy: none / dbp
+            range(0usize..7),           // scheduler
+            range(0usize..names.len()), // workload 0
+            range(0usize..names.len()), // workload 1
+            range(0u64..1000),          // seed base
+            range(0usize..2),           // policy: none / dbp
         );
         check(Config::cases(6), &gen, |(s, w0, w1, seed, pol)| {
             let mut cfg = SimConfig::fast_test();
@@ -1014,24 +1018,16 @@ mod prop_tests {
             let arm = |skip: bool| {
                 let t0 = SyntheticTrace::new(profiles::by_name(names[w0]), seed + 1);
                 let t1 = SyntheticTrace::new(profiles::by_name(names[w1]), seed + 2);
-                let mut sys =
-                    System::new(cfg.clone(), vec![Box::new(t0), Box::new(t1)]);
+                let mut sys = System::new(cfg.clone(), vec![Box::new(t0), Box::new(t1)]);
                 sys.set_time_skip(skip);
                 let run = sys.run();
                 let dram = sys.ctrl().dram();
                 let deadlines: Vec<u64> = (0..cfg.dram.channels)
-                    .flat_map(|ch| {
-                        (0..cfg.dram.ranks_per_channel).map(move |rk| (ch, rk))
-                    })
+                    .flat_map(|ch| (0..cfg.dram.ranks_per_channel).map(move |rk| (ch, rk)))
                     .map(|(ch, rk)| dram.refresh_deadline(ch, rk))
                     .collect();
                 let s = dram.stats();
-                (
-                    run,
-                    sys.cycle(),
-                    deadlines,
-                    (s.activates, s.reads, s.writes, s.refreshes),
-                )
+                (run, sys.cycle(), deadlines, (s.activates, s.reads, s.writes, s.refreshes))
             };
             let a = arm(true);
             let b = arm(false);
@@ -1040,6 +1036,85 @@ mod prop_tests {
             prop_assert_eq!(a.2, b.2);
             prop_assert_eq!(a.3, b.3);
             prop_assert!(a.3 .3 > 0, "run must span at least one refresh");
+            Ok(())
+        });
+    }
+
+    /// Attaching the decision audit layer (shadow policies + estimator
+    /// replica + convergence accounting) must leave the simulation
+    /// byte-identical to an unobserved run — every metric, final
+    /// simulated time, refresh schedules, DRAM counters — under every
+    /// scheduler and both partition policies, and the audited arm must
+    /// actually produce a populated report.
+    #[test]
+    fn audit_layer_is_observation_only_end_to_end() {
+        let names = ["mcf", "libquantum", "lbm", "povray", "gcc", "omnetpp"];
+        let gen = (
+            range(0usize..7),           // scheduler
+            range(0usize..names.len()), // workload 0
+            range(0usize..names.len()), // workload 1
+            range(0u64..1000),          // seed base
+            range(0usize..2),           // policy: none / dbp
+        );
+        check(Config::cases(6), &gen, |(s, w0, w1, seed, pol)| {
+            let mut cfg = SimConfig::fast_test();
+            cfg.epoch_cpu_cycles = 10_000;
+            cfg.instr_feed_interval = 5_000;
+            cfg.target_instructions = 20_000;
+            cfg.scheduler = match s {
+                0 => SchedulerKind::Fcfs,
+                1 => SchedulerKind::FrFcfs,
+                2 => SchedulerKind::FrFcfsCap(Default::default()),
+                3 => SchedulerKind::ParBs(Default::default()),
+                4 => SchedulerKind::Atlas(Default::default()),
+                5 => SchedulerKind::Bliss(Default::default()),
+                _ => SchedulerKind::Tcm(Default::default()),
+            };
+            if pol == 1 {
+                cfg.policy = PolicyKind::Dbp(Default::default());
+            }
+            let arm = |audit: bool| {
+                let t0 = SyntheticTrace::new(profiles::by_name(names[w0]), seed + 1);
+                let t1 = SyntheticTrace::new(profiles::by_name(names[w1]), seed + 2);
+                let rec = if audit {
+                    Recorder::new(RecorderConfig { audit: true, ..Default::default() })
+                } else {
+                    Recorder::disabled()
+                };
+                let mut sys = System::with_recorder(
+                    cfg.clone(),
+                    vec![Box::new(t0), Box::new(t1)],
+                    rec.clone(),
+                );
+                let run = sys.run();
+                let dram = sys.ctrl().dram();
+                let deadlines: Vec<u64> = (0..cfg.dram.channels)
+                    .flat_map(|ch| (0..cfg.dram.ranks_per_channel).map(move |rk| (ch, rk)))
+                    .map(|(ch, rk)| dram.refresh_deadline(ch, rk))
+                    .collect();
+                let s = dram.stats();
+                (
+                    run,
+                    sys.cycle(),
+                    deadlines,
+                    (s.activates, s.reads, s.writes, s.refreshes),
+                    rec.snapshot().audit,
+                )
+            };
+            let a = arm(true);
+            let b = arm(false);
+            prop_assert_eq!(&a.0, &b.0);
+            prop_assert_eq!(a.1, b.1);
+            prop_assert_eq!(a.2, b.2);
+            prop_assert_eq!(a.3, b.3);
+            let report = a.4.expect("audited arm publishes a report");
+            prop_assert!(b.4.is_none(), "unobserved arm must not audit");
+            prop_assert_eq!(report.threads, 2);
+            prop_assert_eq!(report.shadows.len(), 3);
+            prop_assert!(
+                report.convergence.decisions > 0,
+                "run must span at least one repartition decision"
+            );
             Ok(())
         });
     }

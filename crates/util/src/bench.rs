@@ -92,10 +92,7 @@ pub struct Runner {
 }
 
 fn env_u32(name: &str, default: u32) -> u32 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .unwrap_or(default)
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
 }
 
 impl Runner {
@@ -145,7 +142,12 @@ impl Runner {
     }
 
     /// Time `routine` alone (state persists across iterations).
-    pub fn bench<T>(&mut self, name: &str, elements: u64, mut routine: impl FnMut() -> T) -> &Summary {
+    pub fn bench<T>(
+        &mut self,
+        name: &str,
+        elements: u64,
+        mut routine: impl FnMut() -> T,
+    ) -> &Summary {
         self.bench_batched(name, elements, || (), |()| routine())
     }
 
@@ -163,13 +165,7 @@ impl Runner {
                 .melems_per_sec()
                 .map(|m| format!("{m:.2} Melem/s"))
                 .unwrap_or_else(|| "-".to_owned());
-            t.row([
-                s.name.clone(),
-                fmt_ns(s.min_ns),
-                fmt_ns(s.median_ns),
-                fmt_ns(s.p95_ns),
-                tp,
-            ]);
+            t.row([s.name.clone(), fmt_ns(s.min_ns), fmt_ns(s.median_ns), fmt_ns(s.p95_ns), tp]);
         }
         t.render()
     }

@@ -428,10 +428,8 @@ fn run_one_seed<G: Gen>(cfg: Config, gen: &G, prop: &impl Fn(G::Value) -> CaseRe
 /// counterexample and its replay seed when the property does not hold.
 pub fn check<G: Gen>(cfg: Config, gen: &G, prop: impl Fn(G::Value) -> CaseResult) {
     if let Ok(v) = std::env::var("DBP_PROP_SEED") {
-        let seed: u64 = v
-            .trim()
-            .parse()
-            .unwrap_or_else(|_| panic!("DBP_PROP_SEED must be a u64, got {v:?}"));
+        let seed: u64 =
+            v.trim().parse().unwrap_or_else(|_| panic!("DBP_PROP_SEED must be a u64, got {v:?}"));
         run_one_seed(cfg, gen, &prop, seed);
         return;
     }
@@ -596,10 +594,7 @@ mod tests {
             A(u32),
             B(bool),
         }
-        let g = one_of(vec![
-            range(0u32..7).map(Op::A).boxed(),
-            any_bool().map(Op::B).boxed(),
-        ]);
+        let g = one_of(vec![range(0u32..7).map(Op::A).boxed(), any_bool().map(Op::B).boxed()]);
         let mut src = Source::recording(3);
         let mut seen_a = false;
         let mut seen_b = false;

@@ -35,12 +35,8 @@ impl Rng {
     /// Build a generator whose stream is a pure function of `seed`.
     pub fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         // SplitMix64 never yields four zeros, but guard the degenerate
         // all-zero state xoshiro cannot escape from anyway.
         debug_assert!(s.iter().any(|&w| w != 0));
@@ -49,10 +45,7 @@ impl Rng {
 
     /// The next 64 uniformly distributed bits.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[0]
-            .wrapping_add(self.s[3])
-            .rotate_left(23)
-            .wrapping_add(self.s[0]);
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];

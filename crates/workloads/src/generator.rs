@@ -126,9 +126,8 @@ impl TraceSource for SyntheticTrace {
         // Runs start at a random line (with room to complete), so short-run
         // profiles touch different lines on successive laps of their region
         // and keep missing the caches.
-        let start = run.map(|r| {
-            self.rng.gen_range(0..=(LINES_PER_PAGE - u64::from(r).min(LINES_PER_PAGE)))
-        });
+        let start = run
+            .map(|r| self.rng.gen_range(0..=(LINES_PER_PAGE - u64::from(r).min(LINES_PER_PAGE))));
         let s = &mut self.streams[self.burst_pos];
         if let (Some(r), Some(start)) = (run, start) {
             // Advance to the next page of the region, wrapping around.

@@ -65,18 +65,26 @@ pub fn mixes_4core() -> Vec<Mix> {
 /// the same benchmark pool without per-mix repetition.
 pub fn mixes_8core() -> Vec<Mix> {
     vec![
-        mix("mix8-25", 25, &[
-            "mcf", "libquantum", "gcc", "astar", "povray", "gobmk", "namd", "sjeng",
-        ]),
-        mix("mix8-50", 50, &[
-            "mcf", "lbm", "libquantum", "milc", "gcc", "hmmer", "calculix", "perlbench",
-        ]),
-        mix("mix8-75", 75, &[
-            "mcf", "lbm", "libquantum", "milc", "soplex", "GemsFDTD", "povray", "namd",
-        ]),
-        mix("mix8-100", 100, &[
-            "mcf", "lbm", "libquantum", "milc", "soplex", "GemsFDTD", "omnetpp", "bwaves",
-        ]),
+        mix(
+            "mix8-25",
+            25,
+            &["mcf", "libquantum", "gcc", "astar", "povray", "gobmk", "namd", "sjeng"],
+        ),
+        mix(
+            "mix8-50",
+            50,
+            &["mcf", "lbm", "libquantum", "milc", "gcc", "hmmer", "calculix", "perlbench"],
+        ),
+        mix(
+            "mix8-75",
+            75,
+            &["mcf", "lbm", "libquantum", "milc", "soplex", "GemsFDTD", "povray", "namd"],
+        ),
+        mix(
+            "mix8-100",
+            100,
+            &["mcf", "lbm", "libquantum", "milc", "soplex", "GemsFDTD", "omnetpp", "bwaves"],
+        ),
     ]
 }
 
@@ -90,9 +98,8 @@ pub fn mixes_8core() -> Vec<Mix> {
 /// Panics if `cores` is zero.
 pub fn scale_mix(mix: &Mix, cores: usize) -> Mix {
     assert!(cores > 0, "cannot scale to zero cores");
-    let benchmarks: Vec<&'static str> = (0..cores)
-        .map(|i| mix.benchmarks[i % mix.benchmarks.len()])
-        .collect();
+    let benchmarks: Vec<&'static str> =
+        (0..cores).map(|i| mix.benchmarks[i % mix.benchmarks.len()]).collect();
     Mix { name: mix.name, intensive_pct: mix.intensive_pct, benchmarks }
 }
 
@@ -112,11 +119,8 @@ mod tests {
     #[test]
     fn intensive_fraction_matches_category() {
         for m in mixes_4core() {
-            let intensive = m
-                .profiles()
-                .iter()
-                .filter(|p| p.class() == IntensityClass::High)
-                .count() as u32;
+            let intensive =
+                m.profiles().iter().filter(|p| p.class() == IntensityClass::High).count() as u32;
             assert_eq!(intensive * 25, m.intensive_pct, "{}", m.name);
         }
     }
@@ -134,10 +138,7 @@ mod tests {
     fn category_coverage() {
         let mixes = mixes_4core();
         for pct in [0, 25, 50, 75, 100] {
-            assert!(
-                mixes.iter().any(|m| m.intensive_pct == pct),
-                "no mix in category {pct}%"
-            );
+            assert!(mixes.iter().any(|m| m.intensive_pct == pct), "no mix in category {pct}%");
         }
     }
 
@@ -145,11 +146,8 @@ mod tests {
     fn eight_core_mixes_resolve() {
         for m in mixes_8core() {
             assert_eq!(m.cores(), 8, "{}", m.name);
-            let intensive = m
-                .profiles()
-                .iter()
-                .filter(|p| p.class() == IntensityClass::High)
-                .count() as u32;
+            let intensive =
+                m.profiles().iter().filter(|p| p.class() == IntensityClass::High).count() as u32;
             assert_eq!(intensive * 100 / 8, m.intensive_pct, "{}", m.name);
         }
     }

@@ -101,10 +101,7 @@ pub const PROFILES: &[BenchmarkProfile] = &[
 /// Panics if `name` is not in [`PROFILES`] — benchmark names in mixes are
 /// static and a typo is a programming error.
 pub fn by_name(name: &str) -> &'static BenchmarkProfile {
-    PROFILES
-        .iter()
-        .find(|b| b.name == name)
-        .unwrap_or_else(|| panic!("unknown benchmark {name:?}"))
+    PROFILES.iter().find(|b| b.name == name).unwrap_or_else(|| panic!("unknown benchmark {name:?}"))
 }
 
 /// All profiles in `class`.

@@ -24,7 +24,11 @@ impl TraceSource for MyKernel {
             self.chase = self.chase.wrapping_mul(6364136223846793005).wrapping_add(1);
             TraceOp { gap: 30, addr: (self.chase >> 20) % (64 << 20), is_write: false }
         } else {
-            TraceOp { gap: 30, addr: (self.i * 64) % (64 << 20), is_write: self.i.is_multiple_of(5) }
+            TraceOp {
+                gap: 30,
+                addr: (self.i * 64) % (64 << 20),
+                is_write: self.i.is_multiple_of(5),
+            }
         }
     }
 }
@@ -55,10 +59,14 @@ fn main() {
     let mut sys = System::new(cfg, traces);
     let result = sys.run();
 
-    println!("thread 0 (hand-written kernel): IPC {:.3}, MPKI {:.1}, BLP {:.2}",
-        result.threads[0].ipc, result.threads[0].mpki, result.threads[0].blp);
-    println!("thread 1 (profile-driven)     : IPC {:.3}, MPKI {:.1}, BLP {:.2}",
-        result.threads[1].ipc, result.threads[1].mpki, result.threads[1].blp);
+    println!(
+        "thread 0 (hand-written kernel): IPC {:.3}, MPKI {:.1}, BLP {:.2}",
+        result.threads[0].ipc, result.threads[0].mpki, result.threads[0].blp
+    );
+    println!(
+        "thread 1 (profile-driven)     : IPC {:.3}, MPKI {:.1}, BLP {:.2}",
+        result.threads[1].ipc, result.threads[1].mpki, result.threads[1].blp
+    );
     let plan = sys.current_plan().expect("DBP installed a plan");
     println!("\nDBP's final bank-color partition:");
     println!("  thread 0 -> {} colors: {}", plan[0].len(), plan[0]);

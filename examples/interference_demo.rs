@@ -18,11 +18,7 @@ fn main() {
 
     // libquantum-like: one sequential stream, ~97% row-buffer locality.
     // mcf-like: pointer-chasing, high bank-level parallelism.
-    let mix = Mix {
-        name: "demo",
-        intensive_pct: 100,
-        benchmarks: vec!["libquantum", "mcf"],
-    };
+    let mix = Mix { name: "demo", intensive_pct: 100, benchmarks: vec!["libquantum", "mcf"] };
 
     println!("libquantum (streaming) + mcf (random) on shared DRAM banks\n");
     println!(

@@ -40,9 +40,16 @@ fn main() {
         );
     }
     println!("\nsystem metrics:");
-    println!("  weighted speedup  {:.3}  (throughput; max = {})", run.metrics.weighted_speedup, mix.cores());
+    println!(
+        "  weighted speedup  {:.3}  (throughput; max = {})",
+        run.metrics.weighted_speedup,
+        mix.cores()
+    );
     println!("  harmonic speedup  {:.3}", run.metrics.harmonic_speedup);
-    println!("  maximum slowdown  {:.3}  (unfairness; 1.0 is perfectly fair)", run.metrics.max_slowdown);
+    println!(
+        "  maximum slowdown  {:.3}  (unfairness; 1.0 is perfectly fair)",
+        run.metrics.max_slowdown
+    );
     println!("  row-buffer hits   {:.1}%", run.shared.row_hit_rate * 100.0);
     println!("  repartitions      {}", run.shared.repartitions);
     println!("  pages migrated    {}", run.shared.migrated_pages);

@@ -55,6 +55,11 @@ TELEMETRY (run only):
     --profile-out <file>     Self-profile the shared run (host wall-clock
                              spans + work counters) and write the profile
                              JSON (render with `dbpprof <file>`)
+    --audit-out <file>       Run shadow policies alongside the live one
+                             (observation-only) and write the decision
+                             audit JSON: shadow-vs-live allocations,
+                             prediction accuracy, and convergence
+                             telemetry (render with `dbpaudit <file>`)
 ";
 
 fn parse_policy(s: &str) -> Result<PolicyKind, String> {
@@ -98,6 +103,7 @@ struct Options {
     metrics_out: Option<String>,
     latency_out: Option<String>,
     profile_out: Option<String>,
+    audit_out: Option<String>,
 }
 
 impl Default for Options {
@@ -117,6 +123,7 @@ impl Default for Options {
             metrics_out: None,
             latency_out: None,
             profile_out: None,
+            audit_out: None,
         }
     }
 }
@@ -125,46 +132,36 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut opts = Options::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .cloned()
-                .ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} requires a value"));
         match arg.as_str() {
             "--mix" => opts.mix = Some(value("--mix")?),
             "--bench" => opts.bench = Some(value("--bench")?),
             "--policy" => opts.policy = parse_policy(&value("--policy")?)?,
             "--scheduler" => opts.scheduler = parse_scheduler(&value("--scheduler")?)?,
             "--instructions" => {
-                opts.instructions = value("--instructions")?
-                    .parse()
-                    .map_err(|e| format!("--instructions: {e}"))?;
+                opts.instructions =
+                    value("--instructions")?.parse().map_err(|e| format!("--instructions: {e}"))?;
             }
             "--warmup" => {
-                opts.warmup = value("--warmup")?
-                    .parse()
-                    .map_err(|e| format!("--warmup: {e}"))?;
+                opts.warmup = value("--warmup")?.parse().map_err(|e| format!("--warmup: {e}"))?;
             }
             "--channels" => {
-                opts.channels = value("--channels")?
-                    .parse()
-                    .map_err(|e| format!("--channels: {e}"))?;
+                opts.channels =
+                    value("--channels")?.parse().map_err(|e| format!("--channels: {e}"))?;
             }
             "--banks" => {
-                opts.banks = value("--banks")?
-                    .parse()
-                    .map_err(|e| format!("--banks: {e}"))?;
+                opts.banks = value("--banks")?.parse().map_err(|e| format!("--banks: {e}"))?;
             }
             "--epoch" => {
-                opts.epoch = value("--epoch")?
-                    .parse()
-                    .map_err(|e| format!("--epoch: {e}"))?;
+                opts.epoch = value("--epoch")?.parse().map_err(|e| format!("--epoch: {e}"))?;
             }
             "--csv" => opts.csv = true,
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
             "--latency-out" => opts.latency_out = Some(value("--latency-out")?),
             "--profile-out" => opts.profile_out = Some(value("--profile-out")?),
+            "--audit-out" => opts.audit_out = Some(value("--audit-out")?),
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -216,7 +213,8 @@ fn config_for(opts: &Options) -> Result<SimConfig, String> {
 }
 
 fn result_table(mix: &Mix, run: &runner::MixRun) -> Table {
-    let mut t = Table::new(["thread", "benchmark", "IPC", "alone", "slowdown", "MPKI", "RBL", "BLP"]);
+    let mut t =
+        Table::new(["thread", "benchmark", "IPC", "alone", "slowdown", "MPKI", "RBL", "BLP"]);
     for (i, name) in mix.benchmarks.iter().enumerate() {
         let th = &run.shared.threads[i];
         t.row([
@@ -236,7 +234,12 @@ fn result_table(mix: &Mix, run: &runner::MixRun) -> Table {
 fn cmd_list() {
     println!("mixes:");
     for m in mixes_4core() {
-        println!("  {:<10} ({:>3}% intensive)  {}", m.name, m.intensive_pct, m.benchmarks.join(", "));
+        println!(
+            "  {:<10} ({:>3}% intensive)  {}",
+            m.name,
+            m.intensive_pct,
+            m.benchmarks.join(", ")
+        );
     }
     println!("\nbenchmarks:");
     for p in profiles::PROFILES {
@@ -261,10 +264,12 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
         cfg.scheduler.label(),
         cfg.policy.label(),
     );
-    let telemetry_wanted =
-        opts.trace_out.is_some() || opts.metrics_out.is_some() || opts.latency_out.is_some();
+    let telemetry_wanted = opts.trace_out.is_some()
+        || opts.metrics_out.is_some()
+        || opts.latency_out.is_some()
+        || opts.audit_out.is_some();
     let rec = if telemetry_wanted {
-        Recorder::new(RecorderConfig::default())
+        Recorder::new(RecorderConfig { audit: opts.audit_out.is_some(), ..Default::default() })
     } else {
         Recorder::disabled()
     };
@@ -286,8 +291,7 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
             ("scheduler", Json::str(cfg.scheduler.label())),
         ]);
         let doc = export::profile_document(&profile, summary);
-        std::fs::write(path, doc.to_json())
-            .map_err(|e| format!("--profile-out {path}: {e}"))?;
+        std::fs::write(path, doc.to_json()).map_err(|e| format!("--profile-out {path}: {e}"))?;
         eprintln!(
             "wrote self-profile ({} root span(s), {} counter(s)) to {path} \
              (render with `dbpprof {path}`)",
@@ -327,10 +331,7 @@ fn write_telemetry(
     if let Some(path) = &opts.metrics_out {
         let summary = Json::obj([
             ("mix", Json::str(mix.name)),
-            (
-                "benchmarks",
-                Json::arr(mix.benchmarks.iter().map(|b| Json::str(*b))),
-            ),
+            ("benchmarks", Json::arr(mix.benchmarks.iter().map(|b| Json::str(*b)))),
             ("policy", Json::str(cfg.policy.label())),
             ("scheduler", Json::str(cfg.scheduler.label())),
             ("weighted_speedup", Json::num(run.metrics.weighted_speedup)),
@@ -339,8 +340,7 @@ fn write_telemetry(
             ("run", run_result_json(&run.shared)),
         ]);
         let doc = export::metrics_document(&telemetry, summary);
-        std::fs::write(path, doc.to_json())
-            .map_err(|e| format!("--metrics-out {path}: {e}"))?;
+        std::fs::write(path, doc.to_json()).map_err(|e| format!("--metrics-out {path}: {e}"))?;
         eprintln!(
             "wrote metrics ({} epochs, {} events) to {path}",
             telemetry.series.len(),
@@ -358,11 +358,29 @@ fn write_telemetry(
             ("scheduler", Json::str(cfg.scheduler.label())),
         ]);
         let doc = export::latency_document(report, summary);
-        std::fs::write(path, doc.to_json())
-            .map_err(|e| format!("--latency-out {path}: {e}"))?;
+        std::fs::write(path, doc.to_json()).map_err(|e| format!("--latency-out {path}: {e}"))?;
         eprintln!(
             "wrote latency anatomy ({} reads) to {path} (render with `dbpreport {path}`)",
             report.total_reads()
+        );
+    }
+    if let Some(path) = &opts.audit_out {
+        let report = telemetry
+            .audit
+            .as_ref()
+            .ok_or_else(|| format!("--audit-out {path}: run produced no audit report"))?;
+        let summary = Json::obj([
+            ("mix", Json::str(mix.name)),
+            ("policy", Json::str(cfg.policy.label())),
+            ("scheduler", Json::str(cfg.scheduler.label())),
+        ]);
+        let doc = export::audit_document(report, summary);
+        std::fs::write(path, doc.to_json()).map_err(|e| format!("--audit-out {path}: {e}"))?;
+        eprintln!(
+            "wrote decision audit ({} decision(s), {} shadow policies) to {path} \
+             (render with `dbpaudit {path}`)",
+            report.convergence.decisions,
+            report.shadows.len()
         );
     }
     Ok(())

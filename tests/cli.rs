@@ -49,9 +49,7 @@ fn run_ad_hoc_mix_reports_metrics() {
 #[test]
 fn csv_mode_emits_csv() {
     let out = dbpsim()
-        .args([
-            "run", "--bench", "povray", "--instructions", "20000", "--warmup", "5000", "--csv",
-        ])
+        .args(["run", "--bench", "povray", "--instructions", "20000", "--warmup", "5000", "--csv"])
         .output()
         .expect("spawn dbpsim");
     assert!(out.status.success());
@@ -88,10 +86,9 @@ fn telemetry_exports_are_valid_json() {
         .expect("spawn dbpsim");
     assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
 
-    let trace_doc = dbp_repro::obs::json::parse(
-        &std::fs::read_to_string(&trace).expect("trace file written"),
-    )
-    .expect("trace file must be valid JSON");
+    let trace_doc =
+        dbp_repro::obs::json::parse(&std::fs::read_to_string(&trace).expect("trace file written"))
+            .expect("trace file must be valid JSON");
     let rows = trace_doc.get("traceEvents").and_then(|v| v.as_arr()).expect("traceEvents array");
     assert!(rows.len() > 2, "expected events beyond the metadata rows");
 
@@ -113,11 +110,11 @@ fn telemetry_exports_are_valid_json() {
 #[test]
 fn unknown_options_fail_cleanly() {
     for args in [
-        vec!["run"],                            // missing mix
-        vec!["run", "--mix", "nope"],           // unknown mix
-        vec!["run", "--bench", "quake3"],       // unknown benchmark
-        vec!["run", "--policy", "best"],        // unknown policy
-        vec!["frobnicate"],                     // unknown command
+        vec!["run"],                      // missing mix
+        vec!["run", "--mix", "nope"],     // unknown mix
+        vec!["run", "--bench", "quake3"], // unknown benchmark
+        vec!["run", "--policy", "best"],  // unknown policy
+        vec!["frobnicate"],               // unknown command
     ] {
         let out = dbpsim().args(&args).output().expect("spawn dbpsim");
         assert!(!out.status.success(), "{args:?} should fail");

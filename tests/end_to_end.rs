@@ -90,10 +90,7 @@ fn partitioned_runs_raise_row_hit_rate_on_conflicting_pair() {
     };
     let shared = run(PolicyKind::Unpartitioned);
     let equal = run(PolicyKind::Equal);
-    assert!(
-        equal > shared,
-        "equal partitioning must improve row hits: {equal:.3} vs {shared:.3}"
-    );
+    assert!(equal > shared, "equal partitioning must improve row hits: {equal:.3} vs {shared:.3}");
 }
 
 #[test]
@@ -106,12 +103,7 @@ fn mix_metrics_are_internally_consistent() {
     // WS is the sum of speedups; MS the max inverse speedup.
     let ws: f64 = run.metrics.speedups.iter().sum();
     assert!((ws - run.metrics.weighted_speedup).abs() < 1e-9);
-    let ms = run
-        .metrics
-        .speedups
-        .iter()
-        .map(|s| 1.0 / s)
-        .fold(f64::MIN, f64::max);
+    let ms = run.metrics.speedups.iter().map(|s| 1.0 / s).fold(f64::MIN, f64::max);
     assert!((ms - run.metrics.max_slowdown).abs() < 1e-9);
     // No thread can exceed its alone performance by more than noise.
     for &s in &run.metrics.speedups {
@@ -150,10 +142,7 @@ fn fallback_allocations_do_not_happen_in_normal_runs() {
     cfg.policy = PolicyKind::Equal;
     let mut sys = sys_for(&cfg, &["mcf", "lbm", "libquantum", "milc"]);
     let r = sys.run();
-    assert_eq!(
-        r.fallback_allocations, 0,
-        "partitions must be large enough for the footprints"
-    );
+    assert_eq!(r.fallback_allocations, 0, "partitions must be large enough for the footprints");
 }
 
 #[test]

@@ -63,9 +63,8 @@ fn dbp_intensive_threads_get_disjoint_colors() {
     check(Config::cases(64), &g, |(profiles, topo)| {
         let mut dbp = Dbp::new(Default::default());
         let plan = dbp.partition(&profiles, &topo, None);
-        let intensive: Vec<usize> = (0..profiles.len())
-            .filter(|&t| profiles[t].mpki >= 1.25)
-            .collect();
+        let intensive: Vec<usize> =
+            (0..profiles.len()).filter(|&t| profiles[t].mpki >= 1.25).collect();
         // When every intensive thread can have its own unit, their color
         // sets are pairwise disjoint.
         if !intensive.is_empty()
